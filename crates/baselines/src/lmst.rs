@@ -1,0 +1,112 @@
+//! LMST — the local minimum spanning tree topology (Li, Hou, Sha 2003).
+//!
+//! Each node computes the MST of the subgraph induced by its closed 1-hop
+//! neighbourhood (with Euclidean weights) and marks the MST edges incident
+//! to itself. The symmetric LMST keeps an edge only when *both* endpoints
+//! marked it. LMST preserves connectivity and has maximum degree 6 on unit
+//! disk graphs, but gives no constant-stretch guarantee — its weight is
+//! low, its paths can be long.
+
+use tc_graph::{bfs, mst, WeightedGraph};
+use tc_ubg::UnitBallGraph;
+
+/// Builds the symmetric LMST topology of the realised α-UBG.
+pub fn lmst(ubg: &UnitBallGraph) -> WeightedGraph {
+    let n = ubg.len();
+    let graph = ubg.graph();
+    // Symmetric rule: keep an edge iff both endpoints selected it in their
+    // local MST. Each node contributes one "mark" per incident local-MST
+    // edge, so an edge survives exactly when it collects two marks.
+    let mut marks: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
+    for u in 0..n {
+        // Closed 1-hop neighbourhood of u, as a local subgraph.
+        let (local, members) = bfs::k_hop_subgraph(graph, u, 1);
+        let forest = mst::kruskal(&local);
+        let local_u = members
+            .iter()
+            .position(|&m| m == u)
+            .expect("u belongs to its own neighbourhood");
+        for e in &forest.edges {
+            if e.u == local_u || e.v == local_u {
+                let a = members[e.u];
+                let b = members[e.v];
+                *marks.entry(if a < b { (a, b) } else { (b, a) }).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut keep = WeightedGraph::new(n);
+    for ((a, b), count) in marks {
+        if count >= 2 {
+            if let Some(w) = graph.edge_weight(a, b) {
+                keep.add_edge(a, b, w);
+            }
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tc_geometry::Point;
+    use tc_graph::components;
+    use tc_ubg::{generators, UbgBuilder};
+
+    fn sample(seed: u64, n: usize) -> UnitBallGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points = generators::uniform_points(&mut rng, n, 2, 2.0);
+        UbgBuilder::unit_disk().build(points)
+    }
+
+    #[test]
+    fn lmst_is_sparse_connected_and_low_degree() {
+        let ubg = sample(1, 130);
+        let out = lmst(&ubg);
+        assert!(out.edge_count() < ubg.graph().edge_count());
+        assert!(components::is_connected(&out), "LMST must preserve connectivity");
+        // The classical result: LMST degree is at most 6 on UDGs.
+        assert!(out.max_degree() <= 6, "degree {} exceeds 6", out.max_degree());
+        assert!(ubg.graph().contains_subgraph(&out));
+    }
+
+    #[test]
+    fn lmst_of_a_triangle_drops_the_longest_edge() {
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.6, 0.0),
+            Point::new2(0.3, 0.2),
+        ];
+        let ubg = UbgBuilder::unit_disk().build(points);
+        let out = lmst(&ubg);
+        assert!(!out.has_edge(0, 1));
+        assert!(out.has_edge(0, 2));
+        assert!(out.has_edge(1, 2));
+    }
+
+    #[test]
+    fn lmst_weight_is_close_to_global_mst() {
+        let ubg = sample(2, 100);
+        let out = lmst(&ubg);
+        let global = mst::mst_weight(ubg.graph());
+        assert!(out.total_weight() >= global - 1e-9);
+        assert!(
+            out.total_weight() <= 2.5 * global,
+            "LMST weight {} too far above MST weight {global}",
+            out.total_weight()
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = UbgBuilder::unit_disk().build(vec![]);
+        assert_eq!(lmst(&empty).edge_count(), 0);
+        let pair = UbgBuilder::unit_disk().build(vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.4, 0.0),
+        ]);
+        assert_eq!(lmst(&pair).edge_count(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Proximity graphs: Gabriel graph and relative neighbourhood graph.
+//!
+//! Both are classical planar (in 2D) topologies used for geometric routing
+//! in wireless networks; they are connected and locally computable but
+//! their stretch is unbounded in the worst case (the Gabriel graph's is
+//! `Θ(√n)`, the RNG's `Θ(n)`), which is the qualitative contrast to the
+//! paper's (1+ε)-spanner.
+
+use tc_graph::WeightedGraph;
+use tc_ubg::UnitBallGraph;
+
+/// The Gabriel graph restricted to the α-UBG's edges: `{u, v}` survives
+/// iff no other node lies in the closed ball with diameter `uv`
+/// (equivalently `|uw|² + |vw|² ≥ |uv|²` for every other node `w`).
+///
+/// Works in any dimension.
+pub fn gabriel_graph(ubg: &UnitBallGraph) -> WeightedGraph {
+    let n = ubg.len();
+    let points = ubg.points();
+    let mut out = WeightedGraph::new(n);
+    for e in ubg.graph().edges() {
+        let duv2 = points[e.u].distance_squared(&points[e.v]);
+        let blocked = (0..n).any(|w| {
+            w != e.u
+                && w != e.v
+                && points[e.u].distance_squared(&points[w]) + points[e.v].distance_squared(&points[w])
+                    < duv2 - 1e-15
+        });
+        if !blocked {
+            out.add(e);
+        }
+    }
+    out
+}
+
+/// The relative neighbourhood graph restricted to the α-UBG's edges:
+/// `{u, v}` survives iff no other node `w` satisfies
+/// `max(|uw|, |vw|) < |uv|` (the "lune" of `u` and `v` is empty).
+///
+/// Works in any dimension.
+pub fn relative_neighborhood_graph(ubg: &UnitBallGraph) -> WeightedGraph {
+    let n = ubg.len();
+    let points = ubg.points();
+    let mut out = WeightedGraph::new(n);
+    for e in ubg.graph().edges() {
+        let duv = points[e.u].distance(&points[e.v]);
+        let blocked = (0..n).any(|w| {
+            w != e.u
+                && w != e.v
+                && points[e.u].distance(&points[w]) < duv - 1e-15
+                && points[e.v].distance(&points[w]) < duv - 1e-15
+        });
+        if !blocked {
+            out.add(e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tc_geometry::Point;
+    use tc_graph::components;
+    use tc_ubg::{generators, UbgBuilder};
+
+    fn sample(seed: u64, n: usize, dim: usize) -> UnitBallGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points = generators::uniform_points(&mut rng, n, dim, 2.0);
+        UbgBuilder::unit_disk().build(points)
+    }
+
+    #[test]
+    fn rng_is_a_subgraph_of_gabriel() {
+        let ubg = sample(1, 120, 2);
+        let gg = gabriel_graph(&ubg);
+        let rng_graph = relative_neighborhood_graph(&ubg);
+        assert!(gg.contains_subgraph(&rng_graph));
+        assert!(ubg.graph().contains_subgraph(&gg));
+        assert!(rng_graph.edge_count() <= gg.edge_count());
+    }
+
+    #[test]
+    fn both_preserve_connectivity() {
+        let ubg = sample(2, 150, 2);
+        assert!(components::is_connected(ubg.graph()));
+        assert!(components::is_connected(&gabriel_graph(&ubg)));
+        assert!(components::is_connected(&relative_neighborhood_graph(&ubg)));
+    }
+
+    #[test]
+    fn midpoint_witness_removes_an_edge() {
+        // Three collinear points: the long edge (0,2) has node 1 in its
+        // diameter disk and lune, so both graphs drop it.
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.4, 0.0),
+            Point::new2(0.8, 0.0),
+        ];
+        let ubg = UbgBuilder::unit_disk().build(points);
+        let gg = gabriel_graph(&ubg);
+        let rng_graph = relative_neighborhood_graph(&ubg);
+        assert!(!gg.has_edge(0, 2));
+        assert!(!rng_graph.has_edge(0, 2));
+        assert!(gg.has_edge(0, 1) && gg.has_edge(1, 2));
+        assert!(rng_graph.has_edge(0, 1) && rng_graph.has_edge(1, 2));
+    }
+
+    #[test]
+    fn gabriel_keeps_an_edge_with_a_witness_outside_the_disk_but_inside_the_lune() {
+        // Place w so that it is inside the lune of (u, v) but outside the
+        // diameter disk: RNG drops the edge, Gabriel keeps it.
+        let points = vec![
+            Point::new2(0.0, 0.0),  // u
+            Point::new2(1.0, 0.0),  // v
+            Point::new2(0.5, 0.55), // w: |uw| = |vw| ≈ 0.743 < 1, but above the disk
+        ];
+        let ubg = UbgBuilder::unit_disk().build(points);
+        let gg = gabriel_graph(&ubg);
+        let rng_graph = relative_neighborhood_graph(&ubg);
+        assert!(gg.has_edge(0, 1));
+        assert!(!rng_graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn works_in_three_dimensions() {
+        let ubg = sample(3, 80, 3);
+        let gg = gabriel_graph(&ubg);
+        let rng_graph = relative_neighborhood_graph(&ubg);
+        assert!(gg.contains_subgraph(&rng_graph));
+    }
+
+    #[test]
+    fn empty_network() {
+        let ubg = UbgBuilder::unit_disk().build(vec![]);
+        assert_eq!(gabriel_graph(&ubg).edge_count(), 0);
+        assert_eq!(relative_neighborhood_graph(&ubg).edge_count(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! XTC (Wattenhofer–Zollinger 2004), with Euclidean distance as the link
+//! quality order.
+//!
+//! Each node `u` orders its neighbours by link quality (here: increasing
+//! distance, ties broken by identifier) and drops the link to `v` if some
+//! neighbour `w` is better than `v` from *both* endpoints' points of view.
+//! On unit disk graphs with exact distance ordering XTC coincides with the
+//! relative neighbourhood graph; its appeal is that it needs no position
+//! information at all — the contrast to the paper's construction is again
+//! stretch and weight, which XTC does not bound.
+
+use tc_graph::WeightedGraph;
+use tc_ubg::UnitBallGraph;
+
+/// Link-quality rank of `v` from `u`'s perspective: by distance, then id.
+fn rank(ubg: &UnitBallGraph, u: usize, v: usize) -> (f64, usize) {
+    (ubg.distance(u, v), v)
+}
+
+/// Runs XTC on the realised α-UBG and returns the selected symmetric
+/// topology.
+pub fn xtc(ubg: &UnitBallGraph) -> WeightedGraph {
+    let n = ubg.len();
+    let graph = ubg.graph();
+    let mut keep = WeightedGraph::new(n);
+    for e in graph.edges() {
+        let (u, v) = (e.u, e.v);
+        let rank_uv = rank(ubg, u, v);
+        let rank_vu = rank(ubg, v, u);
+        // Drop if some common neighbour w beats v for u AND beats u for v.
+        let dropped = graph.neighbors(u).iter().any(|&(w, _)| {
+            w != v
+                && graph.has_edge(v, w)
+                && rank(ubg, u, w) < rank_uv
+                && rank(ubg, v, w) < rank_vu
+        });
+        if !dropped {
+            keep.add(e);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tc_geometry::Point;
+    use tc_graph::components;
+    use tc_ubg::{generators, UbgBuilder};
+
+    fn sample(seed: u64, n: usize) -> UnitBallGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points = generators::uniform_points(&mut rng, n, 2, 2.0);
+        UbgBuilder::unit_disk().build(points)
+    }
+
+    #[test]
+    fn xtc_is_sparse_and_connected() {
+        let ubg = sample(1, 130);
+        let out = xtc(&ubg);
+        assert!(out.edge_count() < ubg.graph().edge_count());
+        assert!(components::is_connected(&out));
+        assert!(ubg.graph().contains_subgraph(&out));
+    }
+
+    #[test]
+    fn xtc_drops_the_long_side_of_a_triangle() {
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.5, 0.0),
+            Point::new2(0.25, 0.3),
+        ];
+        let ubg = UbgBuilder::unit_disk().build(points);
+        let out = xtc(&ubg);
+        // Edge (0,1) of length 0.5 is the longest side; node 2 is closer to
+        // both endpoints, so XTC drops (0,1) and keeps the two short sides.
+        assert!(!out.has_edge(0, 1));
+        assert!(out.has_edge(0, 2));
+        assert!(out.has_edge(1, 2));
+    }
+
+    #[test]
+    fn xtc_matches_rng_on_generic_udgs() {
+        // With exact Euclidean link order and no ties, XTC = RNG restricted
+        // to the UDG (a witness must be a common *neighbour*, which on a
+        // UDG it always is when it is closer to both endpoints of an edge).
+        let ubg = sample(2, 90);
+        let a = xtc(&ubg);
+        let b = crate::relative_neighborhood_graph(&ubg);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for e in a.edges() {
+            assert!(b.has_edge(e.u, e.v));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = UbgBuilder::unit_disk().build(vec![]);
+        assert_eq!(xtc(&empty).edge_count(), 0);
+        let single = UbgBuilder::unit_disk().build(vec![Point::new2(0.0, 0.0)]);
+        assert_eq!(xtc(&single).edge_count(), 0);
+        let pair = UbgBuilder::unit_disk().build(vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.5, 0.0),
+        ]);
+        assert_eq!(xtc(&pair).edge_count(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Yao and Θ graphs (planar cone-based topologies).
+//!
+//! Both partition the directions around every node into `k` equal cones
+//! and keep one outgoing edge per non-empty cone: the Yao graph keeps the
+//! *shortest* edge, the Θ-graph keeps the edge whose projection onto the
+//! cone bisector is shortest. For `k ≥ 7` cones both are spanners of the
+//! unit disk graph with stretch depending on `k`, but neither bounds the
+//! node degree (a node can be the chosen target of arbitrarily many
+//! others) nor the total weight — the two dimensions along which the
+//! paper's construction improves on them.
+
+use tc_geometry::ConePartition2d;
+use tc_graph::WeightedGraph;
+use tc_ubg::UnitBallGraph;
+
+fn cone_based(ubg: &UnitBallGraph, cones: usize, theta_rule: bool) -> WeightedGraph {
+    assert!(cones >= 1, "need at least one cone");
+    assert!(
+        ubg.is_empty() || ubg.dim() == 2,
+        "Yao and Theta graphs are planar constructions (d = 2)"
+    );
+    let n = ubg.len();
+    let mut out = WeightedGraph::new(n);
+    if n == 0 {
+        return out;
+    }
+    let partition = ConePartition2d::new(cones);
+    let points = ubg.points();
+    let cone_angle = partition.angle();
+    for u in 0..n {
+        // Best neighbour per cone: (score, neighbour, weight).
+        let mut best: Vec<Option<(f64, usize, f64)>> = vec![None; cones];
+        for &(v, w) in ubg.graph().neighbors(u) {
+            let cone = partition.cone_of(&points[u], &points[v]);
+            let score = if theta_rule {
+                // Projection of uv onto the cone bisector.
+                let dx = points[v].coord(0) - points[u].coord(0);
+                let dy = points[v].coord(1) - points[u].coord(1);
+                let bisector = (cone as f64 + 0.5) * cone_angle;
+                dx * bisector.cos() + dy * bisector.sin()
+            } else {
+                w
+            };
+            let better = match best[cone] {
+                None => true,
+                Some((current, cv, _)) => score < current || (score == current && v < cv),
+            };
+            if better {
+                best[cone] = Some((score, v, w));
+            }
+        }
+        for chosen in best.into_iter().flatten() {
+            let (_, v, w) = chosen;
+            out.add_edge(u, v, w);
+        }
+    }
+    out
+}
+
+/// The Yao graph with `cones` cones per node, restricted to the edges of
+/// the realised α-UBG.
+///
+/// # Panics
+///
+/// Panics if the network is not planar (`d ≠ 2`) or `cones == 0`.
+pub fn yao_graph(ubg: &UnitBallGraph, cones: usize) -> WeightedGraph {
+    cone_based(ubg, cones, false)
+}
+
+/// The Θ-graph with `cones` cones per node, restricted to the edges of the
+/// realised α-UBG.
+///
+/// # Panics
+///
+/// Panics if the network is not planar (`d ≠ 2`) or `cones == 0`.
+pub fn theta_graph(ubg: &UnitBallGraph, cones: usize) -> WeightedGraph {
+    cone_based(ubg, cones, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tc_geometry::Point;
+    use tc_graph::properties::stretch_factor;
+    use tc_ubg::{generators, UbgBuilder};
+
+    fn sample(seed: u64, n: usize) -> UnitBallGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points = generators::uniform_points(&mut rng, n, 2, 2.0);
+        UbgBuilder::unit_disk().build(points)
+    }
+
+    #[test]
+    fn yao_keeps_at_most_cones_outgoing_choices() {
+        let ubg = sample(1, 100);
+        let k = 6;
+        let yao = yao_graph(&ubg, k);
+        // Undirected degree can exceed k (in-edges), but the number of
+        // edges is at most k·n.
+        assert!(yao.edge_count() <= k * ubg.len());
+        assert!(ubg.graph().contains_subgraph(&yao));
+    }
+
+    #[test]
+    fn yao_with_many_cones_has_modest_stretch_on_dense_udgs() {
+        let ubg = sample(2, 120);
+        let yao = yao_graph(&ubg, 12);
+        let s = stretch_factor(ubg.graph(), &yao);
+        assert!(s.is_finite());
+        assert!(s < 3.0, "stretch {s} unexpectedly large for a 12-cone Yao graph");
+    }
+
+    #[test]
+    fn theta_graph_is_also_sparse_and_connected_enough() {
+        let ubg = sample(3, 120);
+        let theta = theta_graph(&ubg, 10);
+        assert!(theta.edge_count() <= 10 * ubg.len());
+        let s = stretch_factor(ubg.graph(), &theta);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn single_cone_yao_keeps_nearest_neighbour_edges() {
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.3, 0.0),
+            Point::new2(0.7, 0.0),
+        ];
+        let ubg = UbgBuilder::unit_disk().build(points);
+        let yao = yao_graph(&ubg, 1);
+        // Node 0 keeps its nearest neighbour 1; node 2 keeps 1; node 1
+        // keeps 0. Edge (0,2) is dropped.
+        assert!(yao.has_edge(0, 1));
+        assert!(yao.has_edge(1, 2));
+        assert!(!yao.has_edge(0, 2));
+    }
+
+    #[test]
+    fn empty_network_is_fine() {
+        let ubg = UbgBuilder::unit_disk().build(vec![]);
+        assert_eq!(yao_graph(&ubg, 8).edge_count(), 0);
+        assert_eq!(theta_graph(&ubg, 8).edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "planar")]
+    fn three_dimensional_input_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let points = generators::uniform_points(&mut rng, 10, 3, 1.0);
+        let ubg = UbgBuilder::unit_disk().build(points);
+        let _ = yao_graph(&ubg, 8);
+    }
+}

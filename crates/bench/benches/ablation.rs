@@ -1,0 +1,26 @@
+//! E9 — ablation: regenerates the ablation table and times each variant of
+//! the relaxed greedy construction so the cost of every mechanism is
+//! visible alongside its quality effect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::experiments::{e9_ablation, Scale};
+use tc_bench::workloads::Workload;
+use tc_spanner::{run_ablation, AblationConfig, SpannerParams};
+
+fn bench_ablation(c: &mut Criterion) {
+    println!("{}", e9_ablation(Scale::Smoke).to_plain_text());
+
+    let ubg = Workload::udg(99, 150).build();
+    let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+    let mut group = c.benchmark_group("e9_ablation");
+    group.sample_size(10);
+    for (name, config) in AblationConfig::named_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, &config| {
+            b.iter(|| run_ablation(&ubg, params, config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

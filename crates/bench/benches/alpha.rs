@@ -1,0 +1,42 @@
+//! E6 — α sensitivity: regenerates the α table and times UBG construction
+//! plus spanner construction across α values and grey-zone policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::experiments::{e6_alpha, Scale};
+use tc_bench::workloads::Workload;
+use tc_spanner::{RelaxedGreedy, SpannerParams};
+
+fn bench_alpha(c: &mut Criterion) {
+    println!("{}", e6_alpha(Scale::Smoke).to_plain_text());
+
+    let mut group = c.benchmark_group("e6_alpha/relaxed_greedy");
+    group.sample_size(10);
+    for &alpha in &[0.5, 0.75, 1.0] {
+        let ubg = Workload::alpha_ubg(66, 150, alpha).build();
+        let params = SpannerParams::for_epsilon(1.0, alpha).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha={alpha}")),
+            &alpha,
+            |b, _| {
+                b.iter(|| RelaxedGreedy::new(params).run(&ubg));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e6_alpha/ubg_construction");
+    group.sample_size(10);
+    for &alpha in &[0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha={alpha}")),
+            &alpha,
+            |b, &alpha| {
+                b.iter(|| Workload::alpha_ubg(67, 300, alpha).build());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

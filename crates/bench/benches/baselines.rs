@@ -1,0 +1,36 @@
+//! E5 — baseline comparison: regenerates the comparison table and times
+//! every baseline construction on the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_baselines::Baseline;
+use tc_bench::experiments::{e5_baselines, Scale};
+use tc_bench::workloads::Workload;
+use tc_spanner::{seq_greedy, RelaxedGreedy, SpannerParams};
+
+fn bench_baselines(c: &mut Criterion) {
+    println!("{}", e5_baselines(Scale::Smoke).to_plain_text());
+
+    let ubg = Workload::udg(55, 200).build();
+    let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+    let mut group = c.benchmark_group("e5_baselines");
+    group.sample_size(10);
+    group.bench_function("relaxed_greedy", |b| {
+        b.iter(|| RelaxedGreedy::new(params).run(&ubg));
+    });
+    group.bench_function("seq_greedy", |b| {
+        b.iter(|| seq_greedy(ubg.graph(), 1.5));
+    });
+    for baseline in Baseline::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(baseline.name()),
+            &baseline,
+            |b, baseline| {
+                b.iter(|| baseline.build(&ubg));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

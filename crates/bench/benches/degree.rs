@@ -1,0 +1,28 @@
+//! E2 — degree experiment: regenerates the degree table and times the
+//! construction plus degree measurement across n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::experiments::{e2_degree, Scale};
+use tc_bench::workloads::Workload;
+use tc_spanner::{RelaxedGreedy, SpannerParams};
+
+fn bench_degree(c: &mut Criterion) {
+    println!("{}", e2_degree(Scale::Smoke).to_plain_text());
+
+    let mut group = c.benchmark_group("e2_degree/relaxed_greedy");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let ubg = Workload::udg(22, n).build();
+        let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let result = RelaxedGreedy::new(params).run(&ubg);
+                result.spanner.max_degree()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_degree);
+criterion_main!(benches);

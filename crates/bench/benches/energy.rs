@@ -1,0 +1,32 @@
+//! E7 — energy spanners: regenerates the energy table and times the
+//! power-metric construction and the power-cost measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::experiments::{e7_energy, Scale};
+use tc_bench::workloads::Workload;
+use tc_spanner::extensions::energy::{energy_spanner, power_cost_comparison};
+
+fn bench_energy(c: &mut Criterion) {
+    println!("{}", e7_energy(Scale::Smoke).to_plain_text());
+
+    let ubg = Workload::udg(77, 150).build();
+    let mut group = c.benchmark_group("e7_energy");
+    group.sample_size(10);
+    for &gamma in &[2.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::new("energy_spanner", format!("gamma={gamma}")),
+            &gamma,
+            |b, &gamma| {
+                b.iter(|| energy_spanner(&ubg, 0.5, 1.0, gamma).unwrap());
+            },
+        );
+    }
+    let spanner = energy_spanner(&ubg, 0.5, 1.0, 2.0).unwrap().spanner;
+    group.bench_function("power_cost_comparison", |b| {
+        b.iter(|| power_cost_comparison(&ubg, &spanner, 1.0, 2.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E8 — fault tolerance: regenerates the fault-tolerance table and times
+//! the k-fault-tolerant construction and the fault-injection verifier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tc_bench::experiments::{e8_fault_tolerance, Scale};
+use tc_bench::workloads::Workload;
+use tc_spanner::extensions::fault_tolerant::{
+    fault_tolerance_report, fault_tolerant_greedy, FaultKind,
+};
+
+fn bench_fault(c: &mut Criterion) {
+    println!("{}", e8_fault_tolerance(Scale::Smoke).to_plain_text());
+
+    let ubg = Workload::udg(88, 120).build();
+    let mut group = c.benchmark_group("e8_fault_tolerance");
+    group.sample_size(10);
+    for &k in &[0usize, 1, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("fault_tolerant_greedy", k),
+            &k,
+            |b, &k| {
+                b.iter(|| fault_tolerant_greedy(ubg.graph(), 2.0, k));
+            },
+        );
+    }
+    let spanner = fault_tolerant_greedy(ubg.graph(), 2.0, 1);
+    group.bench_function("fault_injection_10_trials", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            fault_tolerance_report(&mut rng, ubg.graph(), &spanner, 2.0, 1, FaultKind::Edge, 10)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault);
+criterion_main!(benches);

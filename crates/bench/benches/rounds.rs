@@ -1,0 +1,25 @@
+//! E4/F2 — round complexity: regenerates the rounds table and times the
+//! distributed construction (including its message-passing MIS phases).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::experiments::{e4_rounds, Scale};
+use tc_bench::workloads::Workload;
+use tc_spanner::{DistributedRelaxedGreedy, SpannerParams};
+
+fn bench_rounds(c: &mut Criterion) {
+    println!("{}", e4_rounds(Scale::Smoke).to_plain_text());
+
+    let mut group = c.benchmark_group("e4_rounds/distributed_relaxed_greedy");
+    group.sample_size(10);
+    for &n in &[100usize, 200] {
+        let ubg = Workload::udg(44, n).build();
+        let params = SpannerParams::for_epsilon(1.0, 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| DistributedRelaxedGreedy::new(params).run(&ubg).rounds);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E1 — stretch experiment: regenerates the stretch table and times the
+//! sequential relaxed-greedy construction across ε values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::experiments::{e1_stretch, Scale};
+use tc_bench::workloads::Workload;
+use tc_spanner::{RelaxedGreedy, SpannerParams};
+
+fn bench_stretch(c: &mut Criterion) {
+    // Regenerate the experiment series so `cargo bench` output carries the
+    // measured values alongside the timings.
+    println!("{}", e1_stretch(Scale::Smoke).to_plain_text());
+
+    let mut group = c.benchmark_group("e1_stretch/relaxed_greedy");
+    group.sample_size(10);
+    for &eps in &[0.25, 0.5, 1.0] {
+        let ubg = Workload::udg(11, 150).build();
+        let params = SpannerParams::for_epsilon(eps, 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("eps={eps}")), &eps, |b, _| {
+            b.iter(|| RelaxedGreedy::new(params).run(&ubg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stretch);
+criterion_main!(benches);

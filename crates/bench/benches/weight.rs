@@ -1,0 +1,30 @@
+//! E3 — weight experiment: regenerates the weight table and times the
+//! MST + spanner weight-ratio measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::experiments::{e3_weight, Scale};
+use tc_bench::workloads::Workload;
+use tc_graph::{mst, properties};
+use tc_spanner::{RelaxedGreedy, SpannerParams};
+
+fn bench_weight(c: &mut Criterion) {
+    println!("{}", e3_weight(Scale::Smoke).to_plain_text());
+
+    let mut group = c.benchmark_group("e3_weight");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let ubg = Workload::udg(33, n).build();
+        let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+        let spanner = RelaxedGreedy::new(params).run(&ubg).spanner;
+        group.bench_with_input(BenchmarkId::new("mst_weight", n), &n, |b, _| {
+            b.iter(|| mst::mst_weight(ubg.graph()));
+        });
+        group.bench_with_input(BenchmarkId::new("weight_ratio", n), &n, |b, _| {
+            b.iter(|| properties::weight_ratio(ubg.graph(), &spanner));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weight);
+criterion_main!(benches);

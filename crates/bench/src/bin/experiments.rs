@@ -1,0 +1,44 @@
+//! Regenerates every experiment table of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p tc-bench --release --bin experiments            # full sweep
+//! cargo run -p tc-bench --release --bin experiments -- --smoke # tiny sweep
+//! cargo run -p tc-bench --release --bin experiments -- --markdown
+//! cargo run -p tc-bench --release --bin experiments -- --json results.json
+//! ```
+
+use std::io::Write;
+use tc_bench::experiments::{all_experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let markdown = args.iter().any(|a| a == "--markdown");
+
+    eprintln!("running experiment suite at {scale:?} scale...");
+    let tables = all_experiments(scale);
+
+    for table in &tables {
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{}", table.to_plain_text());
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&tables).expect("tables serialise");
+        let mut file = std::fs::File::create(&path).expect("create JSON output file");
+        file.write_all(json.as_bytes()).expect("write JSON output");
+        eprintln!("wrote {path}");
+    }
+}

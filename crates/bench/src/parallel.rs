@@ -1,0 +1,65 @@
+//! A tiny fork–join helper for running independent experiment cells on a
+//! few worker threads.
+//!
+//! The experiment tables are embarrassingly parallel across their rows;
+//! `crossbeam`'s scoped threads plus a `parking_lot` mutex around the
+//! result vector keep the harness simple while cutting wall-clock time on
+//! multi-core machines.
+
+use parking_lot::Mutex;
+
+/// Runs the given closures, each producing one result, on up to
+/// `max_threads` worker threads, and returns the results in input order.
+pub fn run_jobs<T, F>(jobs: Vec<F>, max_threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let threads = max_threads.max(1);
+    let total = jobs.len();
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..total).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(total.max(1)) {
+            scope.spawn(|_| loop {
+                let next = work.lock().pop();
+                match next {
+                    Some((index, job)) => {
+                        let result = job();
+                        slots.lock()[index] = Some(result);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("experiment worker thread panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every job produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let results = run_jobs(jobs, 4);
+        assert_eq!(results, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty_inputs_work() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![];
+        assert!(run_jobs(jobs, 1).is_empty());
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> =
+            vec![Box::new(|| 7u8) as Box<dyn FnOnce() -> u8 + Send>];
+        assert_eq!(run_jobs(jobs, 0), vec![7]);
+    }
+}

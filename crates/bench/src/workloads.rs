@@ -1,0 +1,139 @@
+//! Workload definitions shared by the experiment tables and the Criterion
+//! benchmarks.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use tc_ubg::{generators, GreyZonePolicy, UbgBuilder, UnitBallGraph};
+
+/// The spatial distribution of the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Deployment {
+    /// Uniform in a cube sized for the configured target mean degree.
+    Uniform,
+    /// Gaussian clusters inside the same cube.
+    Clustered,
+    /// A long thin corridor (high hop diameter).
+    Corridor,
+}
+
+/// A reproducible network workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Seed for the point generator (and the grey-zone policy, if random).
+    pub seed: u64,
+    /// Number of nodes.
+    pub n: usize,
+    /// Dimension `d ≥ 2`.
+    pub dim: usize,
+    /// Target mean degree of the unit-radius graph (controls density).
+    pub target_degree: f64,
+    /// The α of the α-UBG model.
+    pub alpha: f64,
+    /// Spatial distribution.
+    pub deployment: Deployment,
+    /// Grey-zone policy (ignored when `alpha == 1`).
+    pub grey_zone: GreyZonePolicy,
+}
+
+impl Workload {
+    /// A uniform UDG workload (α = 1) at the default density.
+    pub fn udg(seed: u64, n: usize) -> Self {
+        Self {
+            seed,
+            n,
+            dim: 2,
+            target_degree: 12.0,
+            alpha: 1.0,
+            deployment: Deployment::Uniform,
+            grey_zone: GreyZonePolicy::Always,
+        }
+    }
+
+    /// A uniform α-UBG workload with a Bernoulli grey zone.
+    pub fn alpha_ubg(seed: u64, n: usize, alpha: f64) -> Self {
+        Self {
+            seed,
+            n,
+            dim: 2,
+            target_degree: 12.0,
+            alpha,
+            deployment: Deployment::Uniform,
+            grey_zone: GreyZonePolicy::Probabilistic {
+                probability: 0.5,
+                seed,
+            },
+        }
+    }
+
+    /// Overrides the dimension.
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Overrides the deployment shape.
+    pub fn with_deployment(mut self, deployment: Deployment) -> Self {
+        self.deployment = deployment;
+        self
+    }
+
+    /// Realises the workload as an α-UBG.
+    pub fn build(&self) -> UnitBallGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let side = generators::side_for_target_degree(self.n, self.dim, self.target_degree);
+        let points = match self.deployment {
+            Deployment::Uniform => generators::uniform_points(&mut rng, self.n, self.dim, side),
+            Deployment::Clustered => generators::clustered_points(
+                &mut rng,
+                self.n,
+                self.dim,
+                side,
+                (self.n / 25).max(2),
+                0.5,
+            ),
+            Deployment::Corridor => {
+                generators::corridor_points(&mut rng, self.n, self.dim, side * side / 2.0, 1.5)
+            }
+        };
+        UbgBuilder::new(self.alpha).grey_zone(self.grey_zone).build(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udg_workload_builds_a_connected_dense_network() {
+        let ubg = Workload::udg(1, 200).build();
+        assert_eq!(ubg.len(), 200);
+        assert!(ubg.graph().mean_degree() > 5.0);
+        assert!(tc_graph::components::is_connected(ubg.graph()));
+    }
+
+    #[test]
+    fn alpha_ubg_workload_is_a_valid_model_instance() {
+        let ubg = Workload::alpha_ubg(2, 150, 0.6).build();
+        assert!(ubg.is_valid_alpha_ubg());
+        assert_eq!(ubg.alpha(), 0.6);
+    }
+
+    #[test]
+    fn deployments_and_dimensions_build() {
+        for deployment in [Deployment::Uniform, Deployment::Clustered, Deployment::Corridor] {
+            let ubg = Workload::udg(3, 80).with_deployment(deployment).build();
+            assert_eq!(ubg.len(), 80);
+        }
+        let ubg3d = Workload::udg(4, 80).with_dim(3).build();
+        assert_eq!(ubg3d.dim(), 3);
+    }
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let a = Workload::udg(9, 60).build();
+        let b = Workload::udg(9, 60).build();
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        assert_eq!(a.points(), b.points());
+    }
+}

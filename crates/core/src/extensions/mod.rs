@@ -1,0 +1,9 @@
+//! The paper's Section 1.6 extensions.
+//!
+//! * [`energy`] — spanners under the energy metric `c·|uv|^γ` and the
+//!   power-cost measure (extensions 2 and 3),
+//! * [`fault_tolerant`] — k-fault-tolerant spanners in the spirit of
+//!   Czumaj–Zhao (extension 1).
+
+pub mod energy;
+pub mod fault_tolerant;

@@ -1,0 +1,217 @@
+//! Weight bins `E_0, E_1, …, E_m` (Section 2 of the paper).
+//!
+//! Let `W_i = r^i · α/n`. Bin 0 holds the edges of weight in
+//! `I_0 = (0, α/n]` (plus any zero-weight edges between coincident
+//! points); bin `i ≥ 1` holds the edges with weight in
+//! `I_i = (W_{i-1}, W_i]`. The relaxed greedy algorithm processes one bin
+//! per phase, in increasing order, and never needs an edge ordering inside
+//! a bin — that relaxation is what makes the distributed version possible.
+
+use tc_graph::{Edge, WeightedGraph};
+
+/// The partition of a graph's edges into weight bins.
+#[derive(Debug, Clone)]
+pub struct BinPartition {
+    w0: f64,
+    r: f64,
+    bins: Vec<Vec<Edge>>,
+}
+
+impl BinPartition {
+    /// Partitions the edges of `graph` into bins with bin-0 threshold `w0`
+    /// (the paper's `α/n`, expressed in the active weight units) and
+    /// growth factor `r > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w0 <= 0` or `r <= 1`.
+    pub fn new(graph: &WeightedGraph, w0: f64, r: f64) -> Self {
+        assert!(w0 > 0.0, "the bin-0 threshold must be positive");
+        assert!(r > 1.0, "the bin growth factor must exceed 1");
+        let mut partition = Self {
+            w0,
+            r,
+            bins: vec![Vec::new()],
+        };
+        for edge in graph.edges() {
+            let idx = partition.bin_index(edge.weight);
+            if idx >= partition.bins.len() {
+                partition.bins.resize(idx + 1, Vec::new());
+            }
+            partition.bins[idx].push(edge);
+        }
+        partition
+    }
+
+    /// The index of the bin an edge of the given weight belongs to.
+    pub fn bin_index(&self, weight: f64) -> usize {
+        if weight <= self.w0 {
+            return 0;
+        }
+        // Smallest i with r^i · w0 >= weight.
+        let raw = (weight / self.w0).ln() / self.r.ln();
+        let mut i = raw.ceil() as usize;
+        // Guard against floating-point boundary errors in both directions.
+        while i > 1 && self.upper(i - 1) >= weight {
+            i -= 1;
+        }
+        while self.upper(i) < weight {
+            i += 1;
+        }
+        i
+    }
+
+    /// Number of bins (indices `0..num_bins()`); at least 1.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The edges of bin `i` (empty slice if `i` is out of range).
+    pub fn bin(&self, i: usize) -> &[Edge] {
+        self.bins.get(i).map_or(&[], Vec::as_slice)
+    }
+
+    /// Upper weight threshold `W_i` of bin `i` (`W_0 = α/n`).
+    pub fn upper(&self, i: usize) -> f64 {
+        self.w0 * self.r.powi(i as i32)
+    }
+
+    /// Lower weight threshold of bin `i` (`0` for bin 0, `W_{i-1}` else).
+    pub fn lower(&self, i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            self.upper(i - 1)
+        }
+    }
+
+    /// Indices of the non-empty bins, ascending. The algorithm only spends
+    /// phases on these.
+    pub fn non_empty_bins(&self) -> Vec<usize> {
+        (0..self.bins.len()).filter(|&i| !self.bins[i].is_empty()).collect()
+    }
+
+    /// Total number of edges across all bins.
+    pub fn edge_count(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn graph_with_weights(weights: &[f64]) -> WeightedGraph {
+        let mut g = WeightedGraph::new(weights.len() + 1);
+        for (i, &w) in weights.iter().enumerate() {
+            g.add_edge(i, i + 1, w);
+        }
+        g
+    }
+
+    #[test]
+    fn edges_fall_into_the_right_intervals() {
+        let g = graph_with_weights(&[0.005, 0.02, 0.04, 0.09, 0.5]);
+        let bins = BinPartition::new(&g, 0.01, 2.0);
+        // thresholds: W_0 = 0.01, W_1 = 0.02, W_2 = 0.04, W_3 = 0.08, ...
+        assert_eq!(bins.bin_index(0.005), 0);
+        assert_eq!(bins.bin_index(0.01), 0);
+        assert_eq!(bins.bin_index(0.02), 1);
+        assert_eq!(bins.bin_index(0.021), 2);
+        assert_eq!(bins.bin_index(0.04), 2);
+        assert_eq!(bins.bin_index(0.09), 4);
+        assert_eq!(bins.bin(0).len(), 1);
+        assert_eq!(bins.bin(1).len(), 1);
+        assert_eq!(bins.bin(2).len(), 1);
+        assert_eq!(bins.edge_count(), 5);
+    }
+
+    #[test]
+    fn thresholds_grow_geometrically() {
+        let g = graph_with_weights(&[0.5]);
+        let bins = BinPartition::new(&g, 0.1, 1.5);
+        assert!((bins.upper(0) - 0.1).abs() < 1e-12);
+        assert!((bins.upper(1) - 0.15).abs() < 1e-12);
+        assert!((bins.upper(3) - 0.3375).abs() < 1e-12);
+        assert_eq!(bins.lower(0), 0.0);
+        assert!((bins.lower(2) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_empty_bins_are_reported_in_order() {
+        let g = graph_with_weights(&[0.005, 0.5, 0.51]);
+        let bins = BinPartition::new(&g, 0.01, 2.0);
+        let non_empty = bins.non_empty_bins();
+        assert_eq!(non_empty[0], 0);
+        assert!(non_empty.len() >= 2);
+        assert!(non_empty.windows(2).all(|w| w[0] < w[1]));
+        for &i in &non_empty {
+            assert!(!bins.bin(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn out_of_range_bin_is_empty() {
+        let g = graph_with_weights(&[0.005]);
+        let bins = BinPartition::new(&g, 0.01, 2.0);
+        assert!(bins.bin(10).is_empty());
+        assert_eq!(bins.num_bins(), 1);
+    }
+
+    #[test]
+    fn zero_weight_edges_go_to_bin_zero() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 0.0);
+        let bins = BinPartition::new(&g, 0.01, 2.0);
+        assert_eq!(bins.bin(0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn growth_factor_must_exceed_one() {
+        let g = graph_with_weights(&[0.5]);
+        let _ = BinPartition::new(&g, 0.01, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn threshold_must_be_positive() {
+        let g = graph_with_weights(&[0.5]);
+        let _ = BinPartition::new(&g, 0.0, 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn every_weight_lands_in_its_interval(
+            w in 1e-6f64..1.0,
+            w0 in 1e-4f64..0.1,
+            r in 1.001f64..3.0,
+        ) {
+            let mut g = WeightedGraph::new(2);
+            g.add_edge(0, 1, w);
+            let bins = BinPartition::new(&g, w0, r);
+            let i = bins.bin_index(w);
+            prop_assert!(w <= bins.upper(i) + 1e-15);
+            prop_assert!(w > bins.lower(i) - 1e-15 || i == 0);
+        }
+
+        #[test]
+        fn bins_partition_all_edges(weights in proptest::collection::vec(1e-4f64..1.0, 1..40)) {
+            let g = graph_with_weights(&weights);
+            let bins = BinPartition::new(&g, 0.01, 1.3);
+            prop_assert_eq!(bins.edge_count(), weights.len());
+            let mut seen = 0;
+            for i in 0..bins.num_bins() {
+                for e in bins.bin(i) {
+                    prop_assert!(e.weight <= bins.upper(i) + 1e-12);
+                    if i > 0 {
+                        prop_assert!(e.weight > bins.lower(i) - 1e-12);
+                    }
+                    seen += 1;
+                }
+            }
+            prop_assert_eq!(seen, weights.len());
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Cluster covers (Section 2.2.1 of the paper).
+//!
+//! A *cluster cover* of a graph `J` with radius `ρ` is a set of clusters
+//! `{C_{u_1}, C_{u_2}, …}` such that every cluster `C_u` consists of nodes
+//! at shortest-path distance at most `ρ` from its centre `u`, every node
+//! belongs to at least one cluster, and distinct centres are at
+//! shortest-path distance more than `ρ` from each other. Phase `i` of the
+//! relaxed greedy algorithm computes a cover of the partial spanner
+//! `G'_{i-1}` with radius `δ·W_{i-1}`.
+
+use tc_graph::{dijkstra, NodeId, WeightedGraph};
+
+/// A cluster cover with a unique cluster assignment per node.
+///
+/// The paper's cover may cover a node by several clusters; for the
+/// query-edge selection each node needs one *home* cluster, so the
+/// constructors also fix an assignment (and record the shortest-path
+/// distance from each node to its assigned centre, which is exactly the
+/// `sp_{G'_{i-1}}(a, x)` term of the selection objective).
+#[derive(Debug, Clone)]
+pub struct ClusterCover {
+    radius: f64,
+    centers: Vec<NodeId>,
+    cluster_of: Vec<usize>,
+    dist_to_center: Vec<f64>,
+}
+
+impl ClusterCover {
+    /// The sequential greedy construction from the paper: repeatedly pick
+    /// an uncovered node, make it a centre, and claim every still-uncovered
+    /// node within shortest-path distance `radius` in `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius < 0`.
+    pub fn greedy(graph: &WeightedGraph, radius: f64) -> Self {
+        assert!(radius >= 0.0, "the cluster radius must be non-negative");
+        let n = graph.node_count();
+        let mut centers = Vec::new();
+        let mut cluster_of = vec![usize::MAX; n];
+        let mut dist_to_center = vec![f64::INFINITY; n];
+        for u in 0..n {
+            if cluster_of[u] != usize::MAX {
+                continue;
+            }
+            let cluster_index = centers.len();
+            centers.push(u);
+            let dist = dijkstra::shortest_path_distances_bounded(graph, u, radius);
+            for (v, d) in dist.into_iter().enumerate() {
+                if let Some(d) = d {
+                    if cluster_of[v] == usize::MAX {
+                        cluster_of[v] = cluster_index;
+                        dist_to_center[v] = d;
+                    }
+                }
+            }
+        }
+        Self {
+            radius,
+            centers,
+            cluster_of,
+            dist_to_center,
+        }
+    }
+
+    /// Builds a cover from an externally supplied set of centres (the
+    /// distributed algorithm obtains them as an MIS of the "within radius"
+    /// graph). Every node attaches to the reachable centre with the
+    /// *highest identifier*, mirroring the paper's tie-breaking rule; nodes
+    /// no centre reaches become singleton clusters of their own (this can
+    /// only happen if `centers` was not maximal).
+    pub fn from_centers(graph: &WeightedGraph, centers: &[NodeId], radius: f64) -> Self {
+        assert!(radius >= 0.0, "the cluster radius must be non-negative");
+        let n = graph.node_count();
+        let mut all_centers: Vec<NodeId> = centers.to_vec();
+        let mut cluster_of = vec![usize::MAX; n];
+        let mut dist_to_center = vec![f64::INFINITY; n];
+        let mut best_center: Vec<Option<(NodeId, f64)>> = vec![None; n];
+        for (idx, &c) in centers.iter().enumerate() {
+            assert!(c < n, "cluster centre {c} is out of range");
+            let dist = dijkstra::shortest_path_distances_bounded(graph, c, radius);
+            for (v, d) in dist.into_iter().enumerate() {
+                if let Some(d) = d {
+                    let better = match best_center[v] {
+                        None => true,
+                        Some((current, _)) => c > current,
+                    };
+                    if better {
+                        best_center[v] = Some((c, d));
+                        cluster_of[v] = idx;
+                        dist_to_center[v] = d;
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            if cluster_of[v] == usize::MAX {
+                cluster_of[v] = all_centers.len();
+                all_centers.push(v);
+                dist_to_center[v] = 0.0;
+            }
+        }
+        Self {
+            radius,
+            centers: all_centers,
+            cluster_of,
+            dist_to_center,
+        }
+    }
+
+    /// The cover radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The cluster centres, indexed by cluster id.
+    pub fn centers(&self) -> &[NodeId] {
+        &self.centers
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// The cluster id of node `v`.
+    pub fn cluster_of(&self, v: NodeId) -> usize {
+        self.cluster_of[v]
+    }
+
+    /// The centre node of `v`'s cluster.
+    pub fn center_of(&self, v: NodeId) -> NodeId {
+        self.centers[self.cluster_of[v]]
+    }
+
+    /// Shortest-path distance (in the cover's graph) from `v` to its
+    /// assigned centre.
+    pub fn dist_to_center(&self, v: NodeId) -> f64 {
+        self.dist_to_center[v]
+    }
+
+    /// Members of each cluster, indexed by cluster id.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut members = vec![Vec::new(); self.centers.len()];
+        for (v, &c) in self.cluster_of.iter().enumerate() {
+            members[c].push(v);
+        }
+        members
+    }
+
+    /// Validates the cover against the defining properties: every node is
+    /// assigned, assigned distances are within the radius, and distinct
+    /// centres are more than `radius` apart in `graph`. Used by tests and
+    /// by the verification layer.
+    pub fn is_valid_cover(&self, graph: &WeightedGraph) -> bool {
+        let n = graph.node_count();
+        if self.cluster_of.len() != n {
+            return false;
+        }
+        for v in 0..n {
+            if self.cluster_of[v] >= self.centers.len() {
+                return false;
+            }
+            if self.dist_to_center[v] > self.radius + 1e-9 {
+                return false;
+            }
+        }
+        for (i, &a) in self.centers.iter().enumerate() {
+            let dist = dijkstra::shortest_path_distances_bounded(graph, a, self.radius);
+            for &b in &self.centers[i + 1..] {
+                if let Some(d) = dist[b] {
+                    if d <= self.radius {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn path_graph(n: usize, w: f64) -> WeightedGraph {
+        let mut g = WeightedGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, w);
+        }
+        g
+    }
+
+    #[test]
+    fn greedy_cover_of_a_path() {
+        let g = path_graph(10, 1.0);
+        let cover = ClusterCover::greedy(&g, 2.0);
+        assert!(cover.is_valid_cover(&g));
+        // Growing radius-2 clusters from the left end of a 10-node
+        // unit-weight path claims nodes {0,1,2}, {3,4,5}, {6,7,8}, {9}.
+        assert_eq!(cover.cluster_count(), 4);
+        assert_eq!(cover.center_of(0), 0);
+        assert_eq!(cover.cluster_of(2), 0);
+        assert!((cover.dist_to_center(2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_cover_makes_singletons() {
+        let g = path_graph(4, 1.0);
+        let cover = ClusterCover::greedy(&g, 0.0);
+        assert_eq!(cover.cluster_count(), 4);
+        assert!(cover.is_valid_cover(&g));
+        for v in 0..4 {
+            assert_eq!(cover.center_of(v), v);
+            assert_eq!(cover.dist_to_center(v), 0.0);
+        }
+    }
+
+    #[test]
+    fn members_partition_the_nodes() {
+        let g = path_graph(9, 0.5);
+        let cover = ClusterCover::greedy(&g, 1.0);
+        let members = cover.members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 9);
+        for (c, ms) in members.iter().enumerate() {
+            for &v in ms {
+                assert_eq!(cover.cluster_of(v), c);
+            }
+        }
+    }
+
+    #[test]
+    fn cover_on_disconnected_graph_covers_isolated_nodes() {
+        let mut g = path_graph(3, 1.0);
+        g.grow_to(5);
+        let cover = ClusterCover::greedy(&g, 1.0);
+        assert!(cover.is_valid_cover(&g));
+        assert!(cover.cluster_count() >= 3);
+        assert_eq!(cover.dist_to_center(4), 0.0);
+    }
+
+    #[test]
+    fn from_centers_attaches_to_highest_identifier() {
+        let g = path_graph(5, 1.0);
+        // Centres 0 and 4, radius 2: node 2 can reach both; it must attach
+        // to centre 4 (the higher identifier).
+        let cover = ClusterCover::from_centers(&g, &[0, 4], 2.0);
+        assert_eq!(cover.center_of(2), 4);
+        assert_eq!(cover.center_of(1), 0);
+        assert_eq!(cover.cluster_count(), 2);
+    }
+
+    #[test]
+    fn from_centers_adds_singletons_for_unreached_nodes() {
+        let g = path_graph(5, 1.0);
+        let cover = ClusterCover::from_centers(&g, &[0], 1.0);
+        // Nodes 2, 3, 4 are unreachable within radius 1 from centre 0.
+        assert!(cover.cluster_count() >= 4);
+        assert_eq!(cover.center_of(3), 3);
+        // Every node still has an assignment within the radius.
+        for v in 0..5 {
+            assert!(cover.dist_to_center(v) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_rejected() {
+        let g = path_graph(3, 1.0);
+        let _ = ClusterCover::greedy(&g, -1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn greedy_cover_is_always_valid(
+            seed in 0u64..500,
+            n in 1usize..40,
+            p in 0.05f64..0.5,
+            radius in 0.0f64..2.0,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut g = WeightedGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(p) {
+                        g.add_edge(u, v, rng.gen_range(0.05..1.0));
+                    }
+                }
+            }
+            let cover = ClusterCover::greedy(&g, radius);
+            prop_assert!(cover.is_valid_cover(&g));
+            // Centres are exactly the nodes assigned to themselves at distance 0.
+            for (c, &center) in cover.centers().iter().enumerate() {
+                prop_assert_eq!(cover.cluster_of(center), c);
+                prop_assert_eq!(cover.dist_to_center(center), 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The sequential relaxed greedy algorithm (Section 2 of the paper).
+//!
+//! The classical `SEQ-GREEDY` needs a *total* order on the edges and an
+//! up-to-date partial spanner for every query — both fatal for a
+//! distributed implementation. The relaxed variant keeps correctness while
+//! removing both requirements:
+//!
+//! 1. edges are only *binned* by weight (`E_0, E_1, …`, geometric bins
+//!    `W_i = r^i·α/n`) and processed bin by bin in arbitrary order inside
+//!    a bin,
+//! 2. all spanner-path queries of a bin are answered on a *frozen*
+//!    approximation of the partial spanner — the Das–Narasimhan cluster
+//!    graph `H_{i-1}` — so the queries of a phase are independent of each
+//!    other (lazy updates),
+//! 3. a covered-edge filter (Czumaj–Zhao) and a one-query-edge-per-
+//!    cluster-pair rule keep the number of queries, and ultimately the
+//!    spanner degree, constant per node,
+//! 4. mutually redundant edges added in the same phase are pruned through
+//!    an MIS of their conflict graph, which the weight bound needs.
+//!
+//! The distributed algorithm in [`crate::distributed`] runs exactly this
+//! phase structure, replacing each step with its message-passing
+//! counterpart.
+
+mod bins;
+mod cluster_graph;
+mod cover;
+mod query;
+mod redundant;
+
+pub use bins::BinPartition;
+pub use cluster_graph::{build_cluster_graph, ClusterGraphStats};
+pub use cover::ClusterCover;
+pub use query::{is_covered, select_query_edges, QuerySelection};
+pub use redundant::{
+    analyze_redundancy, removals_from_mis, sequential_redundant_removals, RedundancyAnalysis,
+};
+
+use crate::params::SpannerParams;
+use crate::seq_greedy::seq_greedy_on_subset;
+use crate::weighting::EdgeWeighting;
+use serde::{Deserialize, Serialize};
+use tc_geometry::Point;
+use tc_graph::{components, dijkstra, Edge, WeightedGraph};
+use tc_ubg::UnitBallGraph;
+
+/// Per-phase statistics of a relaxed-greedy run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Bin index `i` this phase processed.
+    pub bin: usize,
+    /// Upper weight threshold `W_i` of the bin.
+    pub bin_upper: f64,
+    /// Number of edges in the bin.
+    pub edges_in_bin: usize,
+    /// Number of clusters of the cover of `G'_{i-1}` (0 for phase 0).
+    pub clusters: usize,
+    /// Edges filtered out by the covered-edge test.
+    pub covered_edges: usize,
+    /// Edges whose endpoints share a cluster (implicitly satisfied).
+    pub same_cluster_edges: usize,
+    /// Candidate edges surviving the filters.
+    pub candidate_edges: usize,
+    /// Query edges actually asked (≤ one per cluster pair).
+    pub query_edges: usize,
+    /// Edges added to the spanner this phase (before redundancy removal).
+    pub added_edges: usize,
+    /// Edges removed again as mutually redundant.
+    pub removed_redundant: usize,
+}
+
+/// The output of a relaxed-greedy construction.
+#[derive(Debug, Clone)]
+pub struct SpannerResult {
+    /// The constructed spanner (same vertex set as the input).
+    pub spanner: WeightedGraph,
+    /// The parameters the construction ran with.
+    pub params: SpannerParams,
+    /// The weighting the construction ran under.
+    pub weighting: EdgeWeighting,
+    /// Per-phase statistics, in processing order (only non-empty bins
+    /// appear).
+    pub phases: Vec<PhaseStats>,
+}
+
+impl SpannerResult {
+    /// Total number of edges added across all phases (after redundancy
+    /// removal).
+    pub fn edges_kept(&self) -> usize {
+        self.spanner.edge_count()
+    }
+
+    /// Number of phases that actually processed edges.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+/// The sequential relaxed greedy spanner construction.
+///
+/// # Example
+///
+/// ```
+/// use tc_spanner::{RelaxedGreedy, SpannerParams};
+/// use tc_ubg::{generators, UbgBuilder};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let points = generators::uniform_points(&mut rng, 60, 2, 3.0);
+/// let ubg = UbgBuilder::unit_disk().build(points);
+/// let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+/// let result = RelaxedGreedy::new(params).run(&ubg);
+/// assert!(result.spanner.edge_count() <= ubg.graph().edge_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RelaxedGreedy {
+    params: SpannerParams,
+    weighting: EdgeWeighting,
+}
+
+impl RelaxedGreedy {
+    /// Creates a construction with the given (validated) parameters and the
+    /// Euclidean weighting.
+    pub fn new(params: SpannerParams) -> Self {
+        Self {
+            params,
+            weighting: EdgeWeighting::Euclidean,
+        }
+    }
+
+    /// Selects the edge weighting (e.g. the power metric for energy
+    /// spanners).
+    pub fn with_weighting(mut self, weighting: EdgeWeighting) -> Self {
+        self.weighting = weighting;
+        self
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &SpannerParams {
+        &self.params
+    }
+
+    /// The configured weighting.
+    pub fn weighting(&self) -> EdgeWeighting {
+        self.weighting
+    }
+
+    /// Runs the construction on a realised α-UBG.
+    pub fn run(&self, ubg: &UnitBallGraph) -> SpannerResult {
+        let graph = self.weighting.weighted_graph(ubg);
+        self.run_on(ubg.points(), &graph)
+    }
+
+    /// Runs the construction on an explicit (points, weighted graph) pair.
+    /// The graph's weights must be consistent with the configured
+    /// weighting applied to the points; [`RelaxedGreedy::run`] guarantees
+    /// this, tests may construct their own inputs.
+    pub fn run_on(&self, points: &[Point], graph: &WeightedGraph) -> SpannerResult {
+        let n = graph.node_count();
+        assert_eq!(points.len(), n, "one point per graph vertex is required");
+        let mut phases = Vec::new();
+        let mut spanner = WeightedGraph::new(n);
+        if n == 0 || graph.is_edgeless() {
+            return SpannerResult {
+                spanner,
+                params: self.params,
+                weighting: self.weighting,
+                phases,
+            };
+        }
+
+        let w0 = self.weighting.weight_of_distance(self.params.alpha) / n as f64;
+        let bins = BinPartition::new(graph, w0, self.params.r);
+
+        for bin_index in bins.non_empty_bins() {
+            let bin_edges = bins.bin(bin_index);
+            if bin_index == 0 {
+                let stats = self.process_short_edges(&mut spanner, bin_edges, &bins);
+                phases.push(stats);
+            } else {
+                let stats =
+                    self.process_long_edges(points, &mut spanner, bin_edges, &bins, bin_index);
+                phases.push(stats);
+            }
+        }
+
+        SpannerResult {
+            spanner,
+            params: self.params,
+            weighting: self.weighting,
+            phases,
+        }
+    }
+
+    /// Phase 0 (Section 2.1): the graph `G_0` of short edges has clique
+    /// components (Lemma 1); run `SEQ-GREEDY` on each component and keep
+    /// the union.
+    fn process_short_edges(
+        &self,
+        spanner: &mut WeightedGraph,
+        bin_edges: &[Edge],
+        bins: &BinPartition,
+    ) -> PhaseStats {
+        let n = spanner.node_count();
+        let g0 = WeightedGraph::from_edges(n, bin_edges.iter().copied());
+        let mut added = 0;
+        for component in components::connected_components(&g0) {
+            if component.len() < 2 {
+                continue;
+            }
+            let partial = seq_greedy_on_subset(&g0, &component, self.params.t);
+            for e in partial.edges() {
+                spanner.add(e);
+                added += 1;
+            }
+        }
+        PhaseStats {
+            bin: 0,
+            bin_upper: bins.upper(0),
+            edges_in_bin: bin_edges.len(),
+            clusters: 0,
+            covered_edges: 0,
+            same_cluster_edges: 0,
+            candidate_edges: bin_edges.len(),
+            query_edges: bin_edges.len(),
+            added_edges: added,
+            removed_redundant: 0,
+        }
+    }
+
+    /// Phase `i ≥ 1` (Section 2.2): cluster cover, query-edge selection,
+    /// cluster graph, query answering, redundant-edge removal.
+    fn process_long_edges(
+        &self,
+        points: &[Point],
+        spanner: &mut WeightedGraph,
+        bin_edges: &[Edge],
+        bins: &BinPartition,
+        bin_index: usize,
+    ) -> PhaseStats {
+        let w_prev = bins.upper(bin_index - 1);
+        let radius = self.params.delta * w_prev;
+
+        // Step (i): cluster cover of G'_{i-1}.
+        let cover = ClusterCover::greedy(spanner, radius);
+
+        // Step (ii): query-edge selection.
+        let selection = select_query_edges(
+            points,
+            &self.params,
+            self.weighting,
+            spanner,
+            &cover,
+            bin_edges,
+        );
+
+        // Step (iii): cluster graph H_{i-1}.
+        let (h, _h_stats) = build_cluster_graph(spanner, &cover, w_prev, self.params.delta);
+
+        // Step (iv): answer the spanner-path queries on H_{i-1}.
+        let mut added: Vec<Edge> = Vec::new();
+        for edge in &selection.query_edges {
+            let budget = self.params.t * edge.weight;
+            if dijkstra::shortest_path_within(&h, edge.u, edge.v, budget).is_none() {
+                added.push(*edge);
+            }
+        }
+        for e in &added {
+            spanner.add(*e);
+        }
+
+        // Step (v): remove mutually redundant edges.
+        let removals = sequential_redundant_removals(&added, &h, self.params.t1);
+        for &idx in &removals {
+            let e = added[idx];
+            let _ = spanner.remove_edge(e.u, e.v);
+        }
+
+        PhaseStats {
+            bin: bin_index,
+            bin_upper: bins.upper(bin_index),
+            edges_in_bin: bin_edges.len(),
+            clusters: cover.cluster_count(),
+            covered_edges: selection.covered,
+            same_cluster_edges: selection.same_cluster,
+            candidate_edges: selection.candidates,
+            query_edges: selection.query_edges.len(),
+            added_edges: added.len(),
+            removed_redundant: removals.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tc_graph::properties::{spanner_report, stretch_factor};
+    use tc_ubg::{generators, GreyZonePolicy, UbgBuilder};
+
+    fn uniform_ubg(seed: u64, n: usize, dim: usize, side: f64, alpha: f64) -> UnitBallGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points = generators::uniform_points(&mut rng, n, dim, side);
+        UbgBuilder::new(alpha).build(points)
+    }
+
+    #[test]
+    fn produces_a_t_spanner_on_a_udg() {
+        let ubg = uniform_ubg(1, 80, 2, 3.0, 1.0);
+        let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+        let result = RelaxedGreedy::new(params).run(&ubg);
+        let stretch = stretch_factor(ubg.graph(), &result.spanner);
+        assert!(
+            stretch <= params.t + 1e-9,
+            "stretch {stretch} exceeds target {}",
+            params.t
+        );
+        assert!(result.spanner.edge_count() <= ubg.graph().edge_count());
+        assert!(result.phase_count() > 0);
+    }
+
+    #[test]
+    fn produces_a_t_spanner_on_an_alpha_ubg_with_grey_zone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let points = generators::uniform_points(&mut rng, 70, 2, 2.5);
+        let ubg = UbgBuilder::new(0.6)
+            .grey_zone(GreyZonePolicy::Probabilistic { probability: 0.5, seed: 3 })
+            .build(points);
+        let params = SpannerParams::for_epsilon(1.0, 0.6).unwrap();
+        let result = RelaxedGreedy::new(params).run(&ubg);
+        let stretch = stretch_factor(ubg.graph(), &result.spanner);
+        assert!(stretch <= params.t + 1e-9, "stretch {stretch}");
+    }
+
+    #[test]
+    fn produces_a_t_spanner_in_three_dimensions() {
+        let ubg = uniform_ubg(9, 60, 3, 2.0, 0.8);
+        let params = SpannerParams::for_epsilon(1.0, 0.8).unwrap();
+        let result = RelaxedGreedy::new(params).run(&ubg);
+        let stretch = stretch_factor(ubg.graph(), &result.spanner);
+        assert!(stretch <= params.t + 1e-9, "stretch {stretch}");
+    }
+
+    #[test]
+    fn spanner_is_sparse_and_light_relative_to_the_input() {
+        let ubg = uniform_ubg(2, 150, 2, 2.5, 1.0);
+        let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+        let result = RelaxedGreedy::new(params).run(&ubg);
+        let report = spanner_report(ubg.graph(), &result.spanner);
+        // Linear size: a small constant times n edges.
+        assert!(
+            report.spanner_edges <= 12 * report.nodes,
+            "spanner has {} edges on {} nodes",
+            report.spanner_edges,
+            report.nodes
+        );
+        // Lightweight relative to the MST (the theorem's constant is much
+        // larger; this is a sanity threshold for the dense-UDG workload).
+        assert!(
+            report.weight_ratio.is_finite() && report.weight_ratio < 30.0,
+            "weight ratio {}",
+            report.weight_ratio
+        );
+        // The dense input graph should be thinned substantially.
+        assert!(report.spanner_edges < report.base_edges);
+    }
+
+    #[test]
+    fn empty_and_trivial_inputs() {
+        let empty = UbgBuilder::unit_disk().build(vec![]);
+        let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+        let result = RelaxedGreedy::new(params).run(&empty);
+        assert_eq!(result.spanner.node_count(), 0);
+        assert_eq!(result.phase_count(), 0);
+
+        let single = UbgBuilder::unit_disk().build(vec![Point::new2(0.0, 0.0)]);
+        let result = RelaxedGreedy::new(params).run(&single);
+        assert_eq!(result.spanner.edge_count(), 0);
+    }
+
+    #[test]
+    fn disconnected_input_is_handled_per_component() {
+        // Two far-apart blobs: the spanner must preserve paths within each.
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut points = generators::uniform_points(&mut rng, 30, 2, 1.5);
+        points.extend(
+            generators::uniform_points(&mut rng, 30, 2, 1.5)
+                .into_iter()
+                .map(|p| p.translated(&[10.0, 0.0])),
+        );
+        let ubg = UbgBuilder::unit_disk().build(points);
+        let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+        let result = RelaxedGreedy::new(params).run(&ubg);
+        let stretch = stretch_factor(ubg.graph(), &result.spanner);
+        assert!(stretch <= params.t + 1e-9);
+    }
+
+    #[test]
+    fn phase_stats_are_consistent() {
+        let ubg = uniform_ubg(3, 90, 2, 3.0, 1.0);
+        let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+        let result = RelaxedGreedy::new(params).run(&ubg);
+        let mut total_bin_edges = 0;
+        for phase in &result.phases {
+            total_bin_edges += phase.edges_in_bin;
+            assert!(phase.query_edges <= phase.edges_in_bin.max(phase.candidate_edges));
+            assert!(phase.added_edges <= phase.query_edges.max(phase.edges_in_bin));
+            assert!(phase.removed_redundant <= phase.added_edges);
+            if phase.bin > 0 {
+                assert_eq!(
+                    phase.covered_edges + phase.same_cluster_edges + phase.candidate_edges,
+                    phase.edges_in_bin
+                );
+            }
+        }
+        assert_eq!(total_bin_edges, ubg.graph().edge_count());
+        assert!(result.edges_kept() <= ubg.graph().edge_count());
+    }
+
+    #[test]
+    fn power_weighting_produces_an_energy_spanner() {
+        let ubg = uniform_ubg(4, 60, 2, 2.0, 1.0);
+        let params = SpannerParams::for_epsilon(1.0, 1.0).unwrap();
+        let weighting = EdgeWeighting::Power { c: 1.0, gamma: 2.0 };
+        let result = RelaxedGreedy::new(params).with_weighting(weighting).run(&ubg);
+        // Verify the stretch in the *energy* metric.
+        let energy_base = weighting.weighted_graph(&ubg);
+        let stretch = stretch_factor(&energy_base, &result.spanner);
+        assert!(stretch <= params.t + 1e-9, "energy stretch {stretch}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one point per graph vertex")]
+    fn run_on_requires_matching_points() {
+        let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
+        let graph = WeightedGraph::new(3);
+        let _ = RelaxedGreedy::new(params).run_on(&[Point::new2(0.0, 0.0)], &graph);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn stretch_target_is_always_met(
+            seed in 0u64..100,
+            n in 10usize..60,
+            eps_decile in 1usize..5,
+            alpha_decile in 5usize..11,
+        ) {
+            let eps = eps_decile as f64 * 0.25;
+            let alpha = (alpha_decile as f64 * 0.1).min(1.0);
+            let ubg = uniform_ubg(seed, n, 2, 2.0, alpha);
+            let params = SpannerParams::for_epsilon(eps, alpha).unwrap();
+            let result = RelaxedGreedy::new(params).run(&ubg);
+            let stretch = stretch_factor(ubg.graph(), &result.spanner);
+            prop_assert!(stretch <= params.t + 1e-9, "stretch {} > t {}", stretch, params.t);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Covered-edge filtering and query-edge selection (Section 2.2.2).
+//!
+//! An edge `{u, v}` of the current bin is *covered* when an already chosen
+//! spanner edge `{u, z}` makes the Czumaj–Zhao lemma (Lemma 3) applicable:
+//! `|vz| ≤ α`, `∠vuz ≤ θ` and `|uz| ≤ |uv|` — then a `t`-spanner path for
+//! `{u, v}` is implied by the (shorter) edge `{v, z}`'s path and `{u, v}`
+//! never needs to be queried. Among the remaining *candidate* edges, at
+//! most one per pair of clusters is selected as a *query edge*: the one
+//! minimising `t·|xy| − sp(a, x) − sp(b, y)`, which Theorem 10 shows makes
+//! every other candidate of that cluster pair redundant.
+
+use super::cover::ClusterCover;
+use crate::params::SpannerParams;
+use crate::weighting::EdgeWeighting;
+use std::collections::HashMap;
+use tc_geometry::{angle_at, Point};
+use tc_graph::{Edge, WeightedGraph};
+
+/// The outcome of query-edge selection for one bin.
+#[derive(Debug, Clone, Default)]
+pub struct QuerySelection {
+    /// The selected query edges (at most one per unordered cluster pair).
+    pub query_edges: Vec<Edge>,
+    /// Number of bin edges filtered out as covered.
+    pub covered: usize,
+    /// Number of bin edges whose endpoints share a cluster (these already
+    /// have spanner paths through the cluster and are never queried).
+    pub same_cluster: usize,
+    /// Number of candidate (non-covered, cross-cluster) edges.
+    pub candidates: usize,
+}
+
+/// Whether the bin edge `edge` is covered with respect to the current
+/// partial spanner (Section 2.2.2's definition, both symmetric cases).
+pub fn is_covered(
+    points: &[Point],
+    params: &SpannerParams,
+    weighting: EdgeWeighting,
+    spanner: &WeightedGraph,
+    edge: &Edge,
+) -> bool {
+    let alpha = params.alpha;
+    let theta = params.theta;
+    let endpoints = [(edge.u, edge.v), (edge.v, edge.u)];
+    for &(u, v) in &endpoints {
+        for &(z, w_uz) in spanner.neighbors(u) {
+            if z == v {
+                continue;
+            }
+            // Lemma 3 needs |uz| <= |uv| (in the active weighting this is
+            // the weight comparison), |vz| <= alpha so that {v, z} is
+            // guaranteed to be an edge of the alpha-UBG, and the angle at u
+            // to be at most theta.
+            if w_uz > edge.weight {
+                continue;
+            }
+            if points[v].distance(&points[z]) > alpha {
+                continue;
+            }
+            if angle_at(&points[u], &points[v], &points[z]) <= theta {
+                return true;
+            }
+        }
+    }
+    // `weighting` is accepted so callers do not need to special-case the
+    // Euclidean/power distinction: the geometric tests above are always in
+    // Euclidean terms, while the `w_uz > edge.weight` comparison is in the
+    // active weighting (both are monotone in the Euclidean length).
+    let _ = weighting;
+    false
+}
+
+/// Selects the query edges of one bin: filters covered and same-cluster
+/// edges, then keeps one edge per cluster pair minimising
+/// `t·w(x, y) − sp(a, x) − sp(b, y)`.
+pub fn select_query_edges(
+    points: &[Point],
+    params: &SpannerParams,
+    weighting: EdgeWeighting,
+    spanner: &WeightedGraph,
+    cover: &ClusterCover,
+    bin_edges: &[Edge],
+) -> QuerySelection {
+    let mut selection = QuerySelection::default();
+    let mut best: HashMap<(usize, usize), (f64, Edge)> = HashMap::new();
+    for edge in bin_edges {
+        let ca = cover.cluster_of(edge.u);
+        let cb = cover.cluster_of(edge.v);
+        if ca == cb {
+            selection.same_cluster += 1;
+            continue;
+        }
+        if is_covered(points, params, weighting, spanner, edge) {
+            selection.covered += 1;
+            continue;
+        }
+        selection.candidates += 1;
+        let objective =
+            params.t * edge.weight - cover.dist_to_center(edge.u) - cover.dist_to_center(edge.v);
+        let key = if ca < cb { (ca, cb) } else { (cb, ca) };
+        match best.get(&key) {
+            Some((current, _)) if *current <= objective => {}
+            _ => {
+                best.insert(key, (objective, *edge));
+            }
+        }
+    }
+    selection.query_edges = best.into_values().map(|(_, e)| e).collect();
+    // Deterministic order (HashMap iteration order is not).
+    selection.query_edges.sort();
+    selection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SpannerParams {
+        SpannerParams::for_epsilon(1.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn edge_with_aligned_spanner_neighbour_is_covered() {
+        // u at origin, z close to u on the x-axis already connected in the
+        // spanner, v farther along the x-axis: angle(vuz) = 0 <= theta,
+        // |vz| small, |uz| < |uv| -> covered.
+        let points = vec![
+            Point::new2(0.0, 0.0), // u
+            Point::new2(0.9, 0.0), // v
+            Point::new2(0.2, 0.0), // z
+        ];
+        let mut spanner = WeightedGraph::new(3);
+        spanner.add_edge(0, 2, 0.2);
+        let edge = Edge::new(0, 1, 0.9);
+        assert!(is_covered(&points, &params(), EdgeWeighting::Euclidean, &spanner, &edge));
+    }
+
+    #[test]
+    fn edge_with_perpendicular_neighbour_is_not_covered() {
+        let points = vec![
+            Point::new2(0.0, 0.0), // u
+            Point::new2(0.9, 0.0), // v
+            Point::new2(0.0, 0.2), // z, angle(vuz) = 90 degrees
+        ];
+        let mut spanner = WeightedGraph::new(3);
+        spanner.add_edge(0, 2, 0.2);
+        let edge = Edge::new(0, 1, 0.9);
+        assert!(!is_covered(&points, &params(), EdgeWeighting::Euclidean, &spanner, &edge));
+    }
+
+    #[test]
+    fn far_witness_does_not_cover() {
+        // z is aligned but |vz| > alpha, so the witness edge {v,z} is not
+        // guaranteed to exist and the edge must not be treated as covered.
+        let mut p = params();
+        p.alpha = 0.3;
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.9, 0.0),
+            Point::new2(0.25, 0.0),
+        ];
+        let mut spanner = WeightedGraph::new(3);
+        spanner.add_edge(0, 2, 0.25);
+        let edge = Edge::new(0, 1, 0.9);
+        assert!(!is_covered(&points, &p, EdgeWeighting::Euclidean, &spanner, &edge));
+    }
+
+    #[test]
+    fn longer_witness_does_not_cover() {
+        // The witness edge must be no longer than the edge being covered.
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.4, 0.0),
+            Point::new2(0.5, 0.0),
+        ];
+        let mut spanner = WeightedGraph::new(3);
+        spanner.add_edge(0, 2, 0.5);
+        let edge = Edge::new(0, 1, 0.4);
+        assert!(!is_covered(&points, &params(), EdgeWeighting::Euclidean, &spanner, &edge));
+    }
+
+    #[test]
+    fn symmetric_case_covers_from_the_other_endpoint() {
+        // The witness sits next to v instead of u.
+        let points = vec![
+            Point::new2(0.0, 0.0), // u
+            Point::new2(0.9, 0.0), // v
+            Point::new2(0.7, 0.0), // z near v, edge {v,z} in spanner
+        ];
+        let mut spanner = WeightedGraph::new(3);
+        spanner.add_edge(1, 2, 0.2);
+        let edge = Edge::new(0, 1, 0.9);
+        assert!(is_covered(&points, &params(), EdgeWeighting::Euclidean, &spanner, &edge));
+    }
+
+    #[test]
+    fn selection_keeps_one_edge_per_cluster_pair() {
+        // Two clusters, several parallel candidate edges between them; the
+        // one minimising the objective must win.
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.0, 0.1),
+            Point::new2(1.0, 0.0),
+            Point::new2(1.0, 0.1),
+        ];
+        let spanner = {
+            let mut g = WeightedGraph::new(4);
+            g.add_edge(0, 1, 0.1);
+            g.add_edge(2, 3, 0.1);
+            g
+        };
+        let cover = ClusterCover::greedy(&spanner, 0.15);
+        assert_eq!(cover.cluster_count(), 2);
+        let bin_edges = vec![
+            Edge::new(0, 2, 1.0),
+            Edge::new(1, 3, 1.0),
+            Edge::new(0, 3, (1.0f64 + 0.01).sqrt()),
+        ];
+        let p = params();
+        let sel = select_query_edges(&points, &p, EdgeWeighting::Euclidean, &spanner, &cover, &bin_edges);
+        assert_eq!(sel.query_edges.len(), 1);
+        assert_eq!(sel.candidates, 3);
+        assert_eq!(sel.covered, 0);
+        // Edge (1,3): t*1.0 - 0.1 - 0.1 is the smallest objective.
+        assert_eq!(sel.query_edges[0].key(), (1, 3));
+    }
+
+    #[test]
+    fn same_cluster_edges_are_skipped() {
+        let points = vec![Point::new2(0.0, 0.0), Point::new2(0.05, 0.0)];
+        let mut spanner = WeightedGraph::new(2);
+        spanner.add_edge(0, 1, 0.05);
+        let cover = ClusterCover::greedy(&spanner, 0.1);
+        assert_eq!(cover.cluster_count(), 1);
+        let sel = select_query_edges(
+            &points,
+            &params(),
+            EdgeWeighting::Euclidean,
+            &spanner,
+            &cover,
+            &[Edge::new(0, 1, 0.05)],
+        );
+        assert_eq!(sel.same_cluster, 1);
+        assert!(sel.query_edges.is_empty());
+    }
+
+    #[test]
+    fn empty_bin_selects_nothing() {
+        let points = vec![Point::new2(0.0, 0.0)];
+        let spanner = WeightedGraph::new(1);
+        let cover = ClusterCover::greedy(&spanner, 0.1);
+        let sel = select_query_edges(
+            &points,
+            &params(),
+            EdgeWeighting::Euclidean,
+            &spanner,
+            &cover,
+            &[],
+        );
+        assert!(sel.query_edges.is_empty());
+        assert_eq!(sel.candidates, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Removal of mutually redundant edges (Section 2.2.5 of the paper).
+//!
+//! Because all spanner-path queries of a phase are answered on the *frozen*
+//! cluster graph `H_{i-1}`, two edges added in the same phase can each make
+//! the other unnecessary. Edges `{u, v}` and `{u', v'}` are *mutually
+//! redundant* when
+//!
+//! 1. `sp_H(u, u') + w(u', v') + sp_H(v', v) ≤ t1·w(u, v)`, and
+//! 2. `sp_H(u', u) + w(u, v) + sp_H(v, v') ≤ t1·w(u', v')`,
+//!
+//! (or the same with the roles of `u'` and `v'` swapped). The proof of the
+//! weight bound (Theorem 13) requires that no mutually redundant pair
+//! survives, so the algorithm builds the conflict graph `J` over the
+//! added edges, computes a maximal independent set of it, and deletes every
+//! edge outside the MIS. Keeping an MIS (rather than deleting greedily)
+//! guarantees each deleted edge retains at least one surviving partner,
+//! which is what the stretch argument needs.
+
+use tc_graph::{dijkstra, mis, Edge, NodeId, WeightedGraph};
+
+/// The conflict structure among the edges added in one phase.
+#[derive(Debug, Clone)]
+pub struct RedundancyAnalysis {
+    /// Conflict graph `J`: one vertex per added edge (same indexing as the
+    /// `added` slice passed to [`analyze_redundancy`]), one edge per
+    /// mutually redundant pair.
+    pub conflict_graph: WeightedGraph,
+    /// Indices (into the added-edge slice) of edges involved in at least
+    /// one mutually redundant pair.
+    pub involved: Vec<usize>,
+}
+
+impl RedundancyAnalysis {
+    /// Whether no redundant pair was found.
+    pub fn is_trivial(&self) -> bool {
+        self.conflict_graph.is_edgeless()
+    }
+}
+
+/// Finds all mutually redundant pairs among `added` (the edges added in the
+/// current phase), measuring path lengths on the cluster graph `h`.
+pub fn analyze_redundancy(added: &[Edge], h: &WeightedGraph, t1: f64) -> RedundancyAnalysis {
+    assert!(t1 > 1.0, "t1 must exceed 1");
+    let mut conflict_graph = WeightedGraph::new(added.len());
+    if added.len() < 2 {
+        return RedundancyAnalysis {
+            conflict_graph,
+            involved: Vec::new(),
+        };
+    }
+    // Distances in H from every endpoint of an added edge, bounded by the
+    // largest value any redundancy condition can need.
+    let max_w = added.iter().map(|e| e.weight).fold(0.0_f64, f64::max);
+    let budget = t1 * max_w;
+    let mut endpoints: Vec<NodeId> = added.iter().flat_map(|e| [e.u, e.v]).collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+    let dist_of: std::collections::HashMap<NodeId, Vec<Option<f64>>> = endpoints
+        .iter()
+        .map(|&x| (x, dijkstra::shortest_path_distances_bounded(h, x, budget)))
+        .collect();
+    let sp = |x: NodeId, y: NodeId| -> f64 {
+        dist_of
+            .get(&x)
+            .and_then(|d| d[y])
+            .unwrap_or(f64::INFINITY)
+    };
+
+    let mut involved = vec![false; added.len()];
+    for i in 0..added.len() {
+        for j in (i + 1)..added.len() {
+            let (e1, e2) = (added[i], added[j]);
+            // Pairing A: u<->u', v<->v'. Pairing B: u<->v', v<->u'.
+            let pairings = [
+                sp(e1.u, e2.u) + sp(e1.v, e2.v),
+                sp(e1.u, e2.v) + sp(e1.v, e2.u),
+            ];
+            let redundant = pairings.iter().any(|&s| {
+                s + e2.weight <= t1 * e1.weight + 1e-12 && s + e1.weight <= t1 * e2.weight + 1e-12
+            });
+            if redundant {
+                conflict_graph.add_edge(i, j, 1.0);
+                involved[i] = true;
+                involved[j] = true;
+            }
+        }
+    }
+    RedundancyAnalysis {
+        conflict_graph,
+        involved: involved
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x)
+            .map(|(i, _)| i)
+            .collect(),
+    }
+}
+
+/// Given a maximal independent set of the conflict graph (indices into the
+/// added-edge slice), returns the indices of the edges to remove: those
+/// involved in some redundant pair but not chosen by the MIS.
+pub fn removals_from_mis(analysis: &RedundancyAnalysis, chosen: &[usize]) -> Vec<usize> {
+    let in_mis: std::collections::HashSet<usize> = chosen.iter().copied().collect();
+    analysis
+        .involved
+        .iter()
+        .copied()
+        .filter(|idx| !in_mis.contains(idx))
+        .collect()
+}
+
+/// Convenience wrapper for the sequential algorithm: analyses redundancy,
+/// computes a greedy MIS of the conflict graph, and returns the indices of
+/// the edges to remove.
+pub fn sequential_redundant_removals(added: &[Edge], h: &WeightedGraph, t1: f64) -> Vec<usize> {
+    let analysis = analyze_redundancy(added, h, t1);
+    if analysis.is_trivial() {
+        return Vec::new();
+    }
+    let chosen = mis::greedy_mis(&analysis.conflict_graph);
+    removals_from_mis(&analysis, &chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two parallel edges between two tight clusters: the classic mutually
+    /// redundant configuration.
+    fn parallel_setup() -> (Vec<Edge>, WeightedGraph) {
+        // Nodes 0,1 close together; nodes 2,3 close together; added edges
+        // (0,2) and (1,3) of weight 1.0. H contains the intra edges (0,1)
+        // and (2,3) of weight 0.01.
+        let mut h = WeightedGraph::new(4);
+        h.add_edge(0, 1, 0.01);
+        h.add_edge(2, 3, 0.01);
+        let added = vec![Edge::new(0, 2, 1.0), Edge::new(1, 3, 1.0)];
+        (added, h)
+    }
+
+    #[test]
+    fn parallel_edges_are_mutually_redundant() {
+        let (added, h) = parallel_setup();
+        let analysis = analyze_redundancy(&added, &h, 1.5);
+        assert!(!analysis.is_trivial());
+        assert_eq!(analysis.involved, vec![0, 1]);
+        assert!(analysis.conflict_graph.has_edge(0, 1));
+        let removals = sequential_redundant_removals(&added, &h, 1.5);
+        assert_eq!(removals.len(), 1, "exactly one of the pair must be removed");
+    }
+
+    #[test]
+    fn distant_edges_are_not_redundant() {
+        // Same two added edges but no short connections between their
+        // endpoints in H.
+        let h = WeightedGraph::new(4);
+        let added = vec![Edge::new(0, 2, 1.0), Edge::new(1, 3, 1.0)];
+        let analysis = analyze_redundancy(&added, &h, 1.5);
+        assert!(analysis.is_trivial());
+        assert!(sequential_redundant_removals(&added, &h, 1.5).is_empty());
+    }
+
+    #[test]
+    fn tight_t1_suppresses_redundancy() {
+        let (added, h) = parallel_setup();
+        // With t1 barely above 1, the detour 0-1-3 of weight 0.01 + 1.0
+        // exceeds t1 * 1.0, so the pair is not redundant.
+        let analysis = analyze_redundancy(&added, &h, 1.005);
+        assert!(analysis.is_trivial());
+    }
+
+    #[test]
+    fn crossed_pairing_is_detected() {
+        // Added edges (0,2) and (3,1): the natural pairing matches 0-3 and
+        // 2-1 which are far, but the crossed pairing 0-1, 2-3 is close.
+        let mut h = WeightedGraph::new(4);
+        h.add_edge(0, 1, 0.01);
+        h.add_edge(2, 3, 0.01);
+        let added = vec![Edge::new(0, 2, 1.0), Edge::new(3, 1, 1.0)];
+        let analysis = analyze_redundancy(&added, &h, 1.5);
+        assert!(!analysis.is_trivial());
+    }
+
+    #[test]
+    fn single_edge_is_never_redundant() {
+        let h = WeightedGraph::new(2);
+        let added = vec![Edge::new(0, 1, 1.0)];
+        let analysis = analyze_redundancy(&added, &h, 1.5);
+        assert!(analysis.is_trivial());
+        assert!(analysis.involved.is_empty());
+    }
+
+    #[test]
+    fn triangle_of_redundant_edges_keeps_an_independent_set() {
+        // Three mutually redundant edges: the MIS keeps at least one and
+        // removals never orphan all of them.
+        let mut h = WeightedGraph::new(6);
+        // Endpoints pairwise close: 0~2~4 and 1~3~5.
+        for (a, b) in [(0, 2), (2, 4), (0, 4), (1, 3), (3, 5), (1, 5)] {
+            h.add_edge(a, b, 0.01);
+        }
+        let added = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(2, 3, 1.0),
+            Edge::new(4, 5, 1.0),
+        ];
+        let removals = sequential_redundant_removals(&added, &h, 1.5);
+        assert!(removals.len() < added.len(), "at least one edge must survive");
+        assert!(!removals.is_empty(), "some redundancy must be eliminated");
+    }
+
+    #[test]
+    fn removals_from_mis_respects_membership() {
+        let (added, h) = parallel_setup();
+        let analysis = analyze_redundancy(&added, &h, 1.5);
+        assert_eq!(removals_from_mis(&analysis, &[0]), vec![1]);
+        assert_eq!(removals_from_mis(&analysis, &[1]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "t1 must exceed 1")]
+    fn t1_must_exceed_one() {
+        let h = WeightedGraph::new(2);
+        let _ = analyze_redundancy(&[], &h, 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Angle computations used by the Czumaj–Zhao covered-edge test.
+//!
+//! The paper (Lemma 3) filters "covered" edges `{u, v}`: if there is a node
+//! `z` with `{u, z}` already in the partial spanner, `|vz| ≤ α` and the
+//! angle `∠vuz ≤ θ`, then a spanner path for `{u, v}` is implied and the
+//! edge never needs to be queried. The only geometric primitive this needs
+//! is the angle at the apex of a triangle, which is well defined in any
+//! dimension via the dot product.
+
+use crate::Point;
+
+/// Angle (in radians, in `[0, π]`) between two direction vectors.
+///
+/// Returns `0` if either vector is (numerically) zero, which is the
+/// conservative choice for the covered-edge test: a zero-length leg means
+/// the third point coincides with the apex and the edge is trivially
+/// covered.
+pub fn angle_between(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "angle between vectors of different dimensions");
+    let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return 0.0;
+    }
+    let cos = (dot / (na * nb)).clamp(-1.0, 1.0);
+    cos.acos()
+}
+
+/// Angle `∠aub` at apex `u` formed by points `a` and `b`, in radians.
+///
+/// This is the quantity the paper writes as `∠vuz` in the definition of a
+/// covered edge (Section 2.2.2).
+///
+/// ```
+/// use tc_geometry::{angle_at, Point};
+/// let u = Point::new2(0.0, 0.0);
+/// let a = Point::new2(1.0, 0.0);
+/// let b = Point::new2(0.0, 1.0);
+/// assert!((angle_at(&u, &a, &b) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// ```
+pub fn angle_at(u: &Point, a: &Point, b: &Point) -> f64 {
+    angle_between(&u.vector_to(a), &u.vector_to(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn right_angle() {
+        let u = Point::new2(0.0, 0.0);
+        let a = Point::new2(2.0, 0.0);
+        let b = Point::new2(0.0, 3.0);
+        assert!((angle_at(&u, &a, &b) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_same_direction_is_zero() {
+        let u = Point::new2(0.0, 0.0);
+        let a = Point::new2(1.0, 1.0);
+        let b = Point::new2(2.0, 2.0);
+        assert!(angle_at(&u, &a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opposite_direction_is_pi() {
+        let u = Point::new2(0.0, 0.0);
+        let a = Point::new2(1.0, 0.0);
+        let b = Point::new2(-5.0, 0.0);
+        assert!((angle_at(&u, &a, &b) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forty_five_degrees() {
+        let u = Point::new2(0.0, 0.0);
+        let a = Point::new2(1.0, 0.0);
+        let b = Point::new2(1.0, 1.0);
+        assert!((angle_at(&u, &a, &b) - FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_in_three_dimensions() {
+        let u = Point::new3(0.0, 0.0, 0.0);
+        let a = Point::new3(1.0, 0.0, 0.0);
+        let b = Point::new3(0.0, 0.0, 4.0);
+        assert!((angle_at(&u, &a, &b) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_apex_returns_zero() {
+        let u = Point::new2(1.0, 1.0);
+        let a = Point::new2(1.0, 1.0);
+        let b = Point::new2(2.0, 2.0);
+        assert_eq!(angle_at(&u, &a, &b), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn angle_is_symmetric_and_in_range(
+            u in proptest::collection::vec(-10.0f64..10.0, 3),
+            a in proptest::collection::vec(-10.0f64..10.0, 3),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let (u, a, b) = (Point::new(u), Point::new(a), Point::new(b));
+            let lhs = angle_at(&u, &a, &b);
+            let rhs = angle_at(&u, &b, &a);
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+            prop_assert!((0.0..=PI + 1e-9).contains(&lhs));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Bounding volumes: axis-aligned boxes and balls.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in `R^d`.
+///
+/// Used by the point-set generators (to define deployment regions) and by
+/// the spatial index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    min: Point,
+    max: Point,
+}
+
+impl Aabb {
+    /// Creates a box from its minimum and maximum corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corners have different dimensions or if any minimum
+    /// coordinate exceeds the corresponding maximum.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert_eq!(min.dim(), max.dim(), "corners must share a dimension");
+        for i in 0..min.dim() {
+            assert!(
+                min.coord(i) <= max.coord(i),
+                "min corner must be coordinate-wise at most max corner"
+            );
+        }
+        Self { min, max }
+    }
+
+    /// The axis-aligned cube `[0, side]^d`.
+    pub fn unit_cube(dim: usize, side: f64) -> Self {
+        assert!(side >= 0.0, "cube side must be non-negative");
+        Self::new(Point::origin(dim), Point::new(vec![side; dim.max(1)]))
+    }
+
+    /// The smallest box containing all the given points.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding(points: &[Point]) -> Option<Self> {
+        let first = points.first()?;
+        let dim = first.dim();
+        let mut lo = first.coords().to_vec();
+        let mut hi = first.coords().to_vec();
+        for p in &points[1..] {
+            assert_eq!(p.dim(), dim, "all points must share a dimension");
+            for i in 0..dim {
+                lo[i] = lo[i].min(p.coord(i));
+                hi[i] = hi[i].max(p.coord(i));
+            }
+        }
+        Some(Self::new(Point::new(lo), Point::new(hi)))
+    }
+
+    /// Minimum corner.
+    pub fn min(&self) -> &Point {
+        &self.min
+    }
+
+    /// Maximum corner.
+    pub fn max(&self) -> &Point {
+        &self.max
+    }
+
+    /// Dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.min.dim()
+    }
+
+    /// Side length along axis `i`.
+    pub fn extent(&self, i: usize) -> f64 {
+        self.max.coord(i) - self.min.coord(i)
+    }
+
+    /// Length of the box diagonal.
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(&self.max)
+    }
+
+    /// Whether the box contains the point (boundary inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        if p.dim() != self.dim() {
+            return false;
+        }
+        (0..self.dim()).all(|i| self.min.coord(i) <= p.coord(i) && p.coord(i) <= self.max.coord(i))
+    }
+}
+
+/// A ball in `R^d` (used by the doubling-dimension estimator and in tests
+/// of the cluster-cover radius bounds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ball {
+    center: Point,
+    radius: f64,
+}
+
+impl Ball {
+    /// Creates a ball with the given center and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius < 0`.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius >= 0.0, "a ball cannot have negative radius");
+        Self { center, radius }
+    }
+
+    /// Ball center.
+    pub fn center(&self) -> &Point {
+        &self.center
+    }
+
+    /// Ball radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Whether the point lies inside the ball (boundary inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.distance(p) <= self.radius + crate::EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cube_contains_interior_points() {
+        let cube = Aabb::unit_cube(3, 2.0);
+        assert!(cube.contains(&Point::new3(1.0, 1.0, 1.0)));
+        assert!(cube.contains(&Point::new3(0.0, 0.0, 0.0)));
+        assert!(cube.contains(&Point::new3(2.0, 2.0, 2.0)));
+        assert!(!cube.contains(&Point::new3(2.1, 1.0, 1.0)));
+        assert!(!cube.contains(&Point::new2(1.0, 1.0)));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = vec![
+            Point::new2(0.0, 5.0),
+            Point::new2(2.0, -1.0),
+            Point::new2(-3.0, 2.0),
+        ];
+        let b = Aabb::bounding(&pts).unwrap();
+        assert_eq!(b.min(), &Point::new2(-3.0, -1.0));
+        assert_eq!(b.max(), &Point::new2(2.0, 5.0));
+        assert!((b.extent(0) - 5.0).abs() < 1e-12);
+        assert!((b.extent(1) - 6.0).abs() < 1e-12);
+        assert!(b.diagonal() > 0.0);
+    }
+
+    #[test]
+    fn bounding_box_of_empty_set_is_none() {
+        assert!(Aabb::bounding(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate-wise")]
+    fn inverted_corners_rejected() {
+        let _ = Aabb::new(Point::new2(1.0, 0.0), Point::new2(0.0, 1.0));
+    }
+
+    #[test]
+    fn ball_membership() {
+        let ball = Ball::new(Point::new2(0.0, 0.0), 1.0);
+        assert!(ball.contains(&Point::new2(0.5, 0.5)));
+        assert!(ball.contains(&Point::new2(1.0, 0.0)));
+        assert!(!ball.contains(&Point::new2(1.2, 0.0)));
+        assert_eq!(ball.radius(), 1.0);
+        assert_eq!(ball.center(), &Point::new2(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative radius")]
+    fn negative_radius_rejected() {
+        let _ = Ball::new(Point::new2(0.0, 0.0), -1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Yao-style cone partitions of the plane.
+//!
+//! Theorem 11 of the paper bounds the spanner degree by partitioning the
+//! unit ball around a vertex into cones of angular diameter at most `θ`
+//! (citing Yao's construction) and arguing that each cone contributes a
+//! constant number of spanner neighbours. The same cone machinery is what
+//! the Yao-graph and Θ-graph baselines are built on, so it lives here.
+//!
+//! Only the planar (`d = 2`) partition is provided explicitly; the
+//! higher-dimensional degree argument in the paper needs only the *count*
+//! of cones (Yao's bound), never an explicit partition, and the baselines
+//! that consume this type are planar constructions.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// A partition of the plane around an apex into `k` equal-angle cones.
+///
+/// Cone `i` covers directions with polar angle in
+/// `[2πi/k, 2π(i+1)/k)` measured counter-clockwise from the positive
+/// x-axis.
+///
+/// ```
+/// use tc_geometry::{ConePartition2d, Point};
+/// let cones = ConePartition2d::new(8);
+/// let apex = Point::new2(0.0, 0.0);
+/// assert_eq!(cones.cone_of(&apex, &Point::new2(1.0, 0.1)), 0);
+/// assert_eq!(cones.cone_of(&apex, &Point::new2(-1.0, -0.1)), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConePartition2d {
+    cones: usize,
+}
+
+impl ConePartition2d {
+    /// Creates a partition into `cones` equal sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cones == 0`.
+    pub fn new(cones: usize) -> Self {
+        assert!(cones > 0, "a cone partition needs at least one cone");
+        Self { cones }
+    }
+
+    /// Smallest number of cones whose angular diameter is at most `theta`
+    /// radians. This mirrors the paper's requirement that any two points in
+    /// a cone subtend an angle at most `θ` at the apex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta <= 0`.
+    pub fn with_max_angle(theta: f64) -> Self {
+        assert!(theta > 0.0, "the cone angle must be positive");
+        let cones = (TAU / theta).ceil() as usize;
+        Self::new(cones.max(1))
+    }
+
+    /// Number of cones in the partition.
+    pub fn cones(&self) -> usize {
+        self.cones
+    }
+
+    /// Angular width of each cone in radians.
+    pub fn angle(&self) -> f64 {
+        TAU / self.cones as f64
+    }
+
+    /// Index of the cone (with the given apex) containing `target`.
+    ///
+    /// Points coincident with the apex are assigned to cone 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either point is not 2-dimensional.
+    pub fn cone_of(&self, apex: &Point, target: &Point) -> usize {
+        assert_eq!(apex.dim(), 2, "cone partitions are planar");
+        assert_eq!(target.dim(), 2, "cone partitions are planar");
+        let dx = target.coord(0) - apex.coord(0);
+        let dy = target.coord(1) - apex.coord(1);
+        if dx == 0.0 && dy == 0.0 {
+            return 0;
+        }
+        let mut angle = dy.atan2(dx);
+        if angle < 0.0 {
+            angle += TAU;
+        }
+        let idx = (angle / self.angle()).floor() as usize;
+        idx.min(self.cones - 1)
+    }
+
+    /// Yao's upper bound on the number of cones of angular diameter `θ`
+    /// needed to cover the unit ball in `d` dimensions:
+    /// `O(d^{3/2} · sin^{-d}(θ/2) · log(d · sin^{-1}(θ/2)))`.
+    ///
+    /// The paper uses this count `T` in the proof of Theorem 11; we expose
+    /// it so the degree experiment can report the theoretical constant next
+    /// to the measured maximum degree.
+    pub fn yao_cone_bound(d: usize, theta: f64) -> f64 {
+        assert!(d >= 1, "dimension must be at least 1");
+        assert!(theta > 0.0, "the cone angle must be positive");
+        let s = (theta / 2.0).sin().max(f64::MIN_POSITIVE);
+        let inv = 1.0 / s;
+        (d as f64).powf(1.5) * inv.powi(d as i32) * (d as f64 * inv).ln().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn four_cones_cover_the_axes() {
+        let cones = ConePartition2d::new(4);
+        let o = Point::new2(0.0, 0.0);
+        assert_eq!(cones.cone_of(&o, &Point::new2(1.0, 0.5)), 0);
+        assert_eq!(cones.cone_of(&o, &Point::new2(-0.5, 1.0)), 1);
+        assert_eq!(cones.cone_of(&o, &Point::new2(-1.0, -0.5)), 2);
+        assert_eq!(cones.cone_of(&o, &Point::new2(0.5, -1.0)), 3);
+    }
+
+    #[test]
+    fn apex_coincidence_maps_to_cone_zero() {
+        let cones = ConePartition2d::new(6);
+        let o = Point::new2(1.0, 1.0);
+        assert_eq!(cones.cone_of(&o, &o), 0);
+    }
+
+    #[test]
+    fn with_max_angle_respects_bound() {
+        let cones = ConePartition2d::with_max_angle(PI / 4.0);
+        assert!(cones.cones() >= 8);
+        assert!(cones.angle() <= PI / 4.0 + 1e-12);
+    }
+
+    #[test]
+    fn yao_bound_grows_with_dimension() {
+        let t2 = ConePartition2d::yao_cone_bound(2, PI / 6.0);
+        let t3 = ConePartition2d::yao_cone_bound(3, PI / 6.0);
+        assert!(t3 > t2);
+        assert!(t2 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cone")]
+    fn zero_cones_rejected() {
+        let _ = ConePartition2d::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn every_direction_falls_in_exactly_one_cone(
+            k in 1usize..32,
+            x in -10.0f64..10.0,
+            y in -10.0f64..10.0,
+        ) {
+            prop_assume!(x != 0.0 || y != 0.0);
+            let cones = ConePartition2d::new(k);
+            let o = Point::new2(0.0, 0.0);
+            let idx = cones.cone_of(&o, &Point::new2(x, y));
+            prop_assert!(idx < k);
+        }
+
+        #[test]
+        fn points_in_same_cone_subtend_at_most_cone_angle(
+            k in 3usize..24,
+            a1 in 0.0f64..std::f64::consts::TAU,
+            a2 in 0.0f64..std::f64::consts::TAU,
+        ) {
+            let cones = ConePartition2d::new(k);
+            let o = Point::new2(0.0, 0.0);
+            let p1 = Point::new2(a1.cos(), a1.sin());
+            let p2 = Point::new2(a2.cos(), a2.sin());
+            if cones.cone_of(&o, &p1) == cones.cone_of(&o, &p2) {
+                let angle = crate::angle_at(&o, &p1, &p2);
+                prop_assert!(angle <= cones.angle() + 1e-9);
+            }
+        }
+    }
+}

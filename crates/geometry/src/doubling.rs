@@ -1,0 +1,196 @@
+//! Empirical doubling-dimension estimation for finite metric spaces.
+//!
+//! Lemmas 15 and 20 of the paper argue that the *derived* graphs on which
+//! the distributed algorithm computes maximal independent sets are unit
+//! ball graphs residing in metric spaces of constant doubling dimension —
+//! that is what lets the O(log* n) MIS algorithm of Kuhn, Moscibroda and
+//! Wattenhofer be applied. This module provides a direct, testable check:
+//! given a finite metric (as a distance oracle), estimate the doubling
+//! constant by greedily covering balls with half-radius balls.
+//!
+//! The estimate is an upper bound produced by a greedy cover, which is the
+//! standard constructive argument the paper itself uses ("repeatedly pick
+//! an uncovered vertex ... and grow a ball of radius R/2").
+
+/// A finite metric space given as a distance oracle over `0..len`.
+pub trait FiniteMetric {
+    /// Number of points in the space.
+    fn len(&self) -> usize;
+
+    /// Distance between points `i` and `j`.
+    fn dist(&self, i: usize, j: usize) -> f64;
+
+    /// Whether the space is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A finite metric backed by an explicit distance matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixMetric {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl MatrixMetric {
+    /// Creates a metric from a row-major `n × n` distance matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square of size `n·n`.
+    pub fn new(n: usize, d: Vec<f64>) -> Self {
+        assert_eq!(d.len(), n * n, "distance matrix must be n×n");
+        Self { n, d }
+    }
+}
+
+impl FiniteMetric for MatrixMetric {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+}
+
+/// Greedily covers the ball `B(center, radius)` with balls of radius
+/// `radius/2` centred at points of the space, returning the number of
+/// half-radius balls used.
+pub fn half_ball_cover_size<M: FiniteMetric>(metric: &M, center: usize, radius: f64) -> usize {
+    let members: Vec<usize> = (0..metric.len())
+        .filter(|&v| metric.dist(center, v) <= radius)
+        .collect();
+    let mut covered = vec![false; members.len()];
+    let mut balls = 0;
+    for idx in 0..members.len() {
+        if covered[idx] {
+            continue;
+        }
+        balls += 1;
+        let c = members[idx];
+        for (jdx, &v) in members.iter().enumerate() {
+            if !covered[jdx] && metric.dist(c, v) <= radius / 2.0 {
+                covered[jdx] = true;
+            }
+        }
+    }
+    balls
+}
+
+/// Estimates the doubling constant of the metric: the maximum, over all
+/// centers and a geometric ladder of radii, of the number of half-radius
+/// balls a greedy cover needs. The doubling *dimension* is the base-2 log
+/// of this constant.
+///
+/// `radii_per_center` controls how many radius scales are probed (from the
+/// largest pairwise distance down by factors of 2).
+pub fn doubling_constant_estimate<M: FiniteMetric>(metric: &M, radii_per_center: usize) -> usize {
+    if metric.len() <= 1 {
+        return 1;
+    }
+    let mut max_dist: f64 = 0.0;
+    for i in 0..metric.len() {
+        for j in (i + 1)..metric.len() {
+            max_dist = max_dist.max(metric.dist(i, j));
+        }
+    }
+    if max_dist == 0.0 {
+        return 1;
+    }
+    let mut worst = 1;
+    for center in 0..metric.len() {
+        let mut radius = max_dist;
+        for _ in 0..radii_per_center.max(1) {
+            worst = worst.max(half_ball_cover_size(metric, center, radius));
+            radius /= 2.0;
+            if radius <= 0.0 {
+                break;
+            }
+        }
+    }
+    worst
+}
+
+/// Estimated doubling dimension: `log2` of [`doubling_constant_estimate`].
+pub fn doubling_dimension_estimate<M: FiniteMetric>(metric: &M, radii_per_center: usize) -> f64 {
+    (doubling_constant_estimate(metric, radii_per_center) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+    use rand::{Rng, SeedableRng};
+
+    struct PointMetric(Vec<Point>);
+
+    impl FiniteMetric for PointMetric {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn dist(&self, i: usize, j: usize) -> f64 {
+            self.0[i].distance(&self.0[j])
+        }
+    }
+
+    #[test]
+    fn single_point_has_trivial_doubling() {
+        let m = PointMetric(vec![Point::new2(0.0, 0.0)]);
+        assert_eq!(doubling_constant_estimate(&m, 4), 1);
+    }
+
+    #[test]
+    fn identical_points_have_trivial_doubling() {
+        let m = PointMetric(vec![Point::new2(1.0, 1.0); 10]);
+        assert_eq!(doubling_constant_estimate(&m, 4), 1);
+    }
+
+    #[test]
+    fn plane_points_have_small_doubling_dimension() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pts: Vec<Point> = (0..120)
+            .map(|_| Point::new2(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let m = PointMetric(pts);
+        let dim = doubling_dimension_estimate(&m, 4);
+        // The Euclidean plane has doubling dimension ~2; the greedy cover
+        // estimate overshoots by a constant factor but must stay small.
+        assert!(dim < 5.5, "estimated doubling dimension {dim} is too large");
+    }
+
+    #[test]
+    fn line_points_have_smaller_doubling_than_plane() {
+        let line: Vec<Point> = (0..64).map(|i| Point::new2(i as f64, 0.0)).collect();
+        let m_line = PointMetric(line);
+        let dim_line = doubling_dimension_estimate(&m_line, 5);
+        assert!(dim_line <= 3.0, "line doubling dimension {dim_line} too large");
+    }
+
+    #[test]
+    fn uniform_metric_has_doubling_constant_equal_to_size() {
+        // In a uniform metric every half-radius ball is a singleton, so the
+        // doubling constant equals the number of points — the classic
+        // example of a non-doubling space.
+        let n = 12;
+        let mut d = vec![1.0; n * n];
+        for i in 0..n {
+            d[i * n + i] = 0.0;
+        }
+        let m = MatrixMetric::new(n, d);
+        assert_eq!(doubling_constant_estimate(&m, 2), n);
+    }
+
+    #[test]
+    fn half_ball_cover_handles_radius_zero() {
+        let m = PointMetric(vec![Point::new2(0.0, 0.0), Point::new2(1.0, 0.0)]);
+        assert_eq!(half_ball_cover_size(&m, 0, 0.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n×n")]
+    fn matrix_metric_rejects_bad_shape() {
+        let _ = MatrixMetric::new(3, vec![0.0; 8]);
+    }
+}

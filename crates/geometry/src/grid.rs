@@ -1,0 +1,263 @@
+//! Axis-parallel grid spatial index.
+//!
+//! Two uses in the reproduction:
+//!
+//! 1. The proof of Theorem 11 overlays an infinite grid of cells of side
+//!    `α/√d` on the unit ball around a vertex; the number of cells that
+//!    intersect the ball is a constant, which is half of the degree
+//!    argument. [`GridIndex::cells_intersecting_ball_bound`] exposes that
+//!    count so the degree experiment can report it.
+//! 2. Constructing an α-UBG on `n` points requires finding all pairs at
+//!    distance at most 1. A hash grid with cell side equal to the query
+//!    radius turns that into a near-linear scan of neighbouring cells.
+
+use crate::Point;
+use std::collections::HashMap;
+
+/// Integer coordinates of a grid cell.
+pub type CellCoord = Vec<i64>;
+
+/// A uniform hash grid over a set of points in `R^d`.
+///
+/// ```
+/// use tc_geometry::{GridIndex, Point};
+/// let pts = vec![
+///     Point::new2(0.0, 0.0),
+///     Point::new2(0.5, 0.0),
+///     Point::new2(3.0, 3.0),
+/// ];
+/// let grid = GridIndex::build(&pts, 1.0);
+/// let near_origin = grid.neighbors_within(&pts, 0, 1.0);
+/// assert_eq!(near_origin, vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    dim: usize,
+    cells: HashMap<CellCoord, Vec<usize>>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with the given cell side length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size <= 0`, if `points` is empty, or if the points
+    /// do not all share one dimension.
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "grid cell size must be positive");
+        assert!(!points.is_empty(), "cannot index an empty point set");
+        let dim = points[0].dim();
+        let mut cells: HashMap<CellCoord, Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.dim(), dim, "all points must share a dimension");
+            cells.entry(Self::cell_of_point(p, cell_size)).or_default().push(i);
+        }
+        Self { cell_size, dim, cells }
+    }
+
+    fn cell_of_point(p: &Point, cell_size: f64) -> CellCoord {
+        p.coords().iter().map(|c| (c / cell_size).floor() as i64).collect()
+    }
+
+    /// Cell coordinates of the given point.
+    pub fn cell_of(&self, p: &Point) -> CellCoord {
+        Self::cell_of_point(p, self.cell_size)
+    }
+
+    /// Cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Indices of all points within Euclidean distance `radius` of point
+    /// `index` (excluding the point itself), in ascending index order.
+    ///
+    /// `points` must be the same slice the index was built from.
+    pub fn neighbors_within(&self, points: &[Point], index: usize, radius: f64) -> Vec<usize> {
+        let p = &points[index];
+        let mut out = Vec::new();
+        self.for_each_candidate(p, radius, |j| {
+            if j != index && points[j].distance(p) <= radius {
+                out.push(j);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// Indices of all points within distance `radius` of an arbitrary query
+    /// point (which need not belong to the indexed set).
+    pub fn query_ball(&self, points: &[Point], center: &Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_candidate(center, radius, |j| {
+            if points[j].distance(center) <= radius {
+                out.push(j);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// Visits every indexed point whose cell is within `radius` of `p`'s
+    /// cell in the infinity norm; the caller filters by exact distance.
+    fn for_each_candidate(&self, p: &Point, radius: f64, mut visit: impl FnMut(usize)) {
+        let reach = (radius / self.cell_size).ceil() as i64;
+        let base = self.cell_of(p);
+        let mut offsets = vec![-reach; self.dim];
+        loop {
+            let cell: CellCoord = base.iter().zip(offsets.iter()).map(|(b, o)| b + o).collect();
+            if let Some(members) = self.cells.get(&cell) {
+                for &j in members {
+                    visit(j);
+                }
+            }
+            // Advance the mixed-radix counter over offsets.
+            let mut axis = 0;
+            loop {
+                if axis == self.dim {
+                    return;
+                }
+                offsets[axis] += 1;
+                if offsets[axis] <= reach {
+                    break;
+                }
+                offsets[axis] = -reach;
+                axis += 1;
+            }
+        }
+    }
+
+    /// Upper bound on the number of grid cells of side `alpha/√d` that can
+    /// intersect a unit-radius ball in `R^d` — the `O(1/α^d)` constant in
+    /// the proof of Theorem 11.
+    pub fn cells_intersecting_ball_bound(dim: usize, alpha: f64) -> f64 {
+        assert!(dim >= 1, "dimension must be at least 1");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+        let cell_side = alpha / (dim as f64).sqrt();
+        // A ball of radius 1 fits in a cube of side 2 (+ one cell of slack
+        // on each side for partial overlaps).
+        ((2.0 / cell_side) + 2.0).powi(dim as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force_neighbors(points: &[Point], index: usize, radius: f64) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..points.len())
+            .filter(|&j| j != index && points[j].distance(&points[index]) <= radius)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let points: Vec<Point> = (0..200)
+            .map(|_| Point::new2(rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)))
+            .collect();
+        let grid = GridIndex::build(&points, 1.0);
+        for i in (0..points.len()).step_by(17) {
+            assert_eq!(
+                grid.neighbors_within(&points, i, 1.0),
+                brute_force_neighbors(&points, i, 1.0),
+                "mismatch at point {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_in_three_dimensions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let points: Vec<Point> = (0..100)
+            .map(|_| {
+                Point::new3(
+                    rng.gen_range(0.0..3.0),
+                    rng.gen_range(0.0..3.0),
+                    rng.gen_range(0.0..3.0),
+                )
+            })
+            .collect();
+        let grid = GridIndex::build(&points, 0.75);
+        for i in (0..points.len()).step_by(13) {
+            assert_eq!(
+                grid.neighbors_within(&points, i, 0.75),
+                brute_force_neighbors(&points, i, 0.75)
+            );
+        }
+    }
+
+    #[test]
+    fn query_ball_accepts_external_centers() {
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(1.0, 0.0),
+            Point::new2(5.0, 5.0),
+        ];
+        let grid = GridIndex::build(&points, 1.0);
+        let hits = grid.query_ball(&points, &Point::new2(0.4, 0.0), 0.7);
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn occupied_cells_and_cell_size_reported() {
+        let points = vec![Point::new2(0.1, 0.1), Point::new2(0.2, 0.2), Point::new2(3.0, 3.0)];
+        let grid = GridIndex::build(&points, 1.0);
+        assert_eq!(grid.occupied_cells(), 2);
+        assert_eq!(grid.cell_size(), 1.0);
+        assert_eq!(grid.cell_of(&Point::new2(0.5, 0.5)), vec![0, 0]);
+        assert_eq!(grid.cell_of(&Point::new2(-0.5, 0.5)), vec![-1, 0]);
+    }
+
+    #[test]
+    fn theorem11_cell_bound_is_finite_and_positive() {
+        let b2 = GridIndex::cells_intersecting_ball_bound(2, 0.5);
+        let b3 = GridIndex::cells_intersecting_ball_bound(3, 0.5);
+        assert!(b2 > 0.0 && b2.is_finite());
+        assert!(b3 > b2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_rejected() {
+        let _ = GridIndex::build(&[Point::new2(0.0, 0.0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_point_set_rejected() {
+        let _ = GridIndex::build(&[], 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn grid_neighbors_equal_brute_force(
+            seed in 0u64..1000,
+            n in 2usize..60,
+            radius in 0.1f64..1.5,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let points: Vec<Point> = (0..n)
+                .map(|_| Point::new2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+                .collect();
+            let grid = GridIndex::build(&points, radius);
+            for i in 0..n {
+                prop_assert_eq!(
+                    grid.neighbors_within(&points, i, radius),
+                    brute_force_neighbors(&points, i, radius)
+                );
+            }
+        }
+    }
+}

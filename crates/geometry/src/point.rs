@@ -1,0 +1,342 @@
+//! Points in `R^d` for arbitrary dimension `d ≥ 1`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when two points of different dimensions are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionMismatch {
+    /// Dimension of the left-hand operand.
+    pub left: usize,
+    /// Dimension of the right-hand operand.
+    pub right: usize,
+}
+
+impl fmt::Display for DimensionMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dimension mismatch: left point has dimension {}, right point has dimension {}",
+            self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for DimensionMismatch {}
+
+/// A point in `R^d`.
+///
+/// The dimension is dynamic so that the same code paths serve the paper's
+/// `d ≥ 2` setting without generics leaking into every downstream crate.
+/// Coordinates are stored densely; points are cheap to clone for the
+/// problem sizes the simulator targets (`n` up to a few thousand).
+///
+/// # Example
+///
+/// ```
+/// use tc_geometry::Point;
+///
+/// let p = Point::new(vec![1.0, 2.0, 2.0]);
+/// assert_eq!(p.dim(), 3);
+/// assert!((p.norm() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` is empty: zero-dimensional points are never
+    /// meaningful for the α-UBG model (`d ≥ 2` in the paper; `d = 1` is
+    /// allowed here because it is useful in tests).
+    pub fn new(coords: Vec<f64>) -> Self {
+        assert!(!coords.is_empty(), "a point must have at least one coordinate");
+        Self { coords }
+    }
+
+    /// Creates a 2-dimensional point.
+    pub fn new2(x: f64, y: f64) -> Self {
+        Self::new(vec![x, y])
+    }
+
+    /// Creates a 3-dimensional point.
+    pub fn new3(x: f64, y: f64, z: f64) -> Self {
+        Self::new(vec![x, y, z])
+    }
+
+    /// The origin of `R^d`.
+    pub fn origin(dim: usize) -> Self {
+        Self::new(vec![0.0; dim.max(1)])
+    }
+
+    /// Dimension `d` of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+
+    /// All coordinates as a slice.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Mutable access to the coordinates.
+    pub fn coords_mut(&mut self) -> &mut [f64] {
+        &mut self.coords
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ; use [`Point::try_distance`] for a
+    /// fallible variant.
+    pub fn distance_squared(&self, other: &Point) -> f64 {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "distance between points of different dimensions"
+        );
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Euclidean distance `|uv|` to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Fallible Euclidean distance that reports dimension mismatches
+    /// instead of panicking.
+    pub fn try_distance(&self, other: &Point) -> Result<f64, DimensionMismatch> {
+        if self.dim() != other.dim() {
+            return Err(DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
+        }
+        Ok(self.distance(other))
+    }
+
+    /// Euclidean norm (distance to the origin).
+    pub fn norm(&self) -> f64 {
+        self.coords.iter().map(|c| c * c).sum::<f64>().sqrt()
+    }
+
+    /// The vector `other - self`, as a coordinate vector.
+    pub fn vector_to(&self, other: &Point) -> Vec<f64> {
+        assert_eq!(self.dim(), other.dim(), "vector between mismatched dimensions");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| b - a)
+            .collect()
+    }
+
+    /// Dot product of the vectors `self -> a` and `self -> b`.
+    pub fn dot_from(&self, a: &Point, b: &Point) -> f64 {
+        let va = self.vector_to(a);
+        let vb = self.vector_to(b);
+        va.iter().zip(vb.iter()).map(|(x, y)| x * y).sum()
+    }
+
+    /// Coordinate-wise midpoint of `self` and `other`.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Linear interpolation: `self + s·(other - self)`.
+    pub fn lerp(&self, other: &Point, s: f64) -> Point {
+        assert_eq!(self.dim(), other.dim(), "lerp between mismatched dimensions");
+        Point::new(
+            self.coords
+                .iter()
+                .zip(other.coords.iter())
+                .map(|(a, b)| a + s * (b - a))
+                .collect(),
+        )
+    }
+
+    /// Translates the point by the given displacement vector.
+    pub fn translated(&self, delta: &[f64]) -> Point {
+        assert_eq!(self.dim(), delta.len(), "translation of mismatched dimension");
+        Point::new(
+            self.coords
+                .iter()
+                .zip(delta.iter())
+                .map(|(a, d)| a + d)
+                .collect(),
+        )
+    }
+
+    /// Scales the point about the origin.
+    pub fn scaled(&self, factor: f64) -> Point {
+        Point::new(self.coords.iter().map(|a| a * factor).collect())
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new2(x, y)
+    }
+}
+
+impl From<(f64, f64, f64)> for Point {
+    fn from((x, y, z): (f64, f64, f64)) -> Self {
+        Point::new3(x, y, z)
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(coords: Vec<f64>) -> Self {
+        Point::new(coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let u = Point::new2(0.0, 0.0);
+        let v = Point::new2(3.0, 4.0);
+        assert!((u.distance(&v) - 5.0).abs() < 1e-12);
+        assert!((u.distance_squared(&v) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_in_three_dimensions() {
+        let u = Point::new3(1.0, 2.0, 3.0);
+        let v = Point::new3(1.0, 2.0, 3.0);
+        assert_eq!(u.distance(&v), 0.0);
+        let w = Point::new3(2.0, 4.0, 5.0);
+        assert!((u.distance(&w) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_distance_reports_mismatch() {
+        let u = Point::new2(0.0, 0.0);
+        let v = Point::new3(0.0, 0.0, 0.0);
+        let err = u.try_distance(&v).unwrap_err();
+        assert_eq!(err, DimensionMismatch { left: 2, right: 3 });
+        assert!(err.to_string().contains("dimension mismatch"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensions")]
+    fn distance_panics_on_mismatch() {
+        let u = Point::new2(0.0, 0.0);
+        let v = Point::new3(0.0, 0.0, 0.0);
+        let _ = u.distance(&v);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coordinate")]
+    fn empty_point_rejected() {
+        let _ = Point::new(vec![]);
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let u = Point::new2(0.0, 0.0);
+        let v = Point::new2(2.0, 4.0);
+        assert_eq!(u.midpoint(&v), Point::new2(1.0, 2.0));
+        assert_eq!(u.lerp(&v, 0.25), Point::new2(0.5, 1.0));
+        assert_eq!(u.lerp(&v, 0.0), u);
+        assert_eq!(u.lerp(&v, 1.0), v);
+    }
+
+    #[test]
+    fn translate_and_scale() {
+        let u = Point::new2(1.0, 2.0);
+        assert_eq!(u.translated(&[1.0, -1.0]), Point::new2(2.0, 1.0));
+        assert_eq!(u.scaled(2.0), Point::new2(2.0, 4.0));
+    }
+
+    #[test]
+    fn dot_from_is_zero_for_perpendicular_directions() {
+        let origin = Point::new2(0.0, 0.0);
+        let a = Point::new2(1.0, 0.0);
+        let b = Point::new2(0.0, 1.0);
+        assert_eq!(origin.dot_from(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let u = Point::new2(1.0, 2.5);
+        assert_eq!(format!("{u}"), "(1.0000, 2.5000)");
+    }
+
+    #[test]
+    fn conversions_from_tuples() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p.dim(), 2);
+        let q: Point = (1.0, 2.0, 3.0).into();
+        assert_eq!(q.dim(), 3);
+        let r: Point = vec![1.0; 5].into();
+        assert_eq!(r.dim(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec(-100.0f64..100.0, 3),
+            b in proptest::collection::vec(-100.0f64..100.0, 3),
+            c in proptest::collection::vec(-100.0f64..100.0, 3),
+        ) {
+            let (a, b, c) = (Point::new(a), Point::new(b), Point::new(c));
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        }
+
+        #[test]
+        fn distance_is_symmetric_and_nonnegative(
+            a in proptest::collection::vec(-100.0f64..100.0, 4),
+            b in proptest::collection::vec(-100.0f64..100.0, 4),
+        ) {
+            let (a, b) = (Point::new(a), Point::new(b));
+            prop_assert!(a.distance(&b) >= 0.0);
+            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn scaling_scales_distances(
+            a in proptest::collection::vec(-10.0f64..10.0, 2),
+            b in proptest::collection::vec(-10.0f64..10.0, 2),
+            s in 0.0f64..10.0,
+        ) {
+            let (a, b) = (Point::new(a), Point::new(b));
+            let scaled = a.scaled(s).distance(&b.scaled(s));
+            prop_assert!((scaled - s * a.distance(&b)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Connected components.
+//!
+//! Phase 0 of the relaxed greedy algorithm (Section 2.1) runs `SEQ-GREEDY`
+//! separately on each connected component of `G_0`, the graph of "short"
+//! edges; Lemma 1 guarantees each such component induces a clique.
+
+use crate::{NodeId, UnionFind, WeightedGraph};
+
+/// Assigns every node a component label in `0..k` (labels are dense and
+/// ordered by smallest member).
+pub fn component_labels(graph: &WeightedGraph) -> Vec<usize> {
+    let n = graph.node_count();
+    let mut uf = UnionFind::new(n);
+    for e in graph.edges() {
+        uf.union(e.u, e.v);
+    }
+    let mut label_of_root = vec![usize::MAX; n];
+    let mut labels = vec![0usize; n];
+    let mut next = 0;
+    for v in 0..n {
+        let root = uf.find(v);
+        if label_of_root[root] == usize::MAX {
+            label_of_root[root] = next;
+            next += 1;
+        }
+        labels[v] = label_of_root[root];
+    }
+    labels
+}
+
+/// The connected components as sorted vertex lists, ordered by smallest
+/// member.
+pub fn connected_components(graph: &WeightedGraph) -> Vec<Vec<NodeId>> {
+    let labels = component_labels(graph);
+    let count = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut comps = vec![Vec::new(); count];
+    for (v, &label) in labels.iter().enumerate() {
+        comps[label].push(v);
+    }
+    comps
+}
+
+/// Number of connected components (isolated vertices count).
+pub fn component_count(graph: &WeightedGraph) -> usize {
+    connected_components(graph).len()
+}
+
+/// Whether the graph is connected (an empty graph is considered connected).
+pub fn is_connected(graph: &WeightedGraph) -> bool {
+    graph.node_count() <= 1 || component_count(graph) == 1
+}
+
+/// Whether every component of the graph induces a clique — the structural
+/// property Lemma 1 asserts for `G_0`.
+pub fn components_are_cliques(graph: &WeightedGraph) -> bool {
+    connected_components(graph).iter().all(|comp| {
+        comp.iter().enumerate().all(|(i, &u)| {
+            comp[i + 1..].iter().all(|&v| graph.has_edge(u, v))
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_partition_the_graph() {
+        let mut g = WeightedGraph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert_ne!(labels[5], labels[3]);
+    }
+
+    #[test]
+    fn components_are_sorted_lists() {
+        let mut g = WeightedGraph::new(5);
+        g.add_edge(4, 2, 1.0);
+        g.add_edge(0, 1, 1.0);
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 4], vec![3]]);
+        assert_eq!(component_count(&g), 3);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let mut g = WeightedGraph::new(3);
+        assert!(!is_connected(&g));
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        assert!(is_connected(&g));
+        assert!(is_connected(&WeightedGraph::new(1)));
+        assert!(is_connected(&WeightedGraph::new(0)));
+    }
+
+    #[test]
+    fn clique_components_detected() {
+        let mut g = WeightedGraph::new(6);
+        // component {0,1,2} is a triangle (clique), {3,4,5} is a path.
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 5, 1.0);
+        assert!(!components_are_cliques(&g));
+        g.add_edge(3, 5, 1.0);
+        assert!(components_are_cliques(&g));
+    }
+
+    #[test]
+    fn edgeless_graph_components_are_cliques() {
+        let g = WeightedGraph::new(4);
+        assert!(components_are_cliques(&g));
+        assert_eq!(component_count(&g), 4);
+    }
+}

@@ -1,0 +1,388 @@
+//! The adjacency-list weighted undirected graph.
+
+use crate::{Edge, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors reported by graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was at least the number of nodes.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        nodes: usize,
+    },
+    /// The requested edge does not exist.
+    MissingEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} is out of range for a graph with {nodes} nodes")
+            }
+            GraphError::MissingEdge { u, v } => write!(f, "edge ({u}, {v}) does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected graph with non-negative edge weights, stored as adjacency
+/// lists plus an edge index for O(1) weight lookups.
+///
+/// Vertices are the integers `0..n`. Parallel edges are not allowed: adding
+/// an edge that already exists overwrites its weight.
+///
+/// # Example
+///
+/// ```
+/// use tc_graph::WeightedGraph;
+///
+/// let mut g = WeightedGraph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 0.5);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.edge_weight(0, 1), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WeightedGraph {
+    adjacency: Vec<Vec<(NodeId, f64)>>,
+    edge_index: HashMap<(NodeId, NodeId), f64>,
+}
+
+impl WeightedGraph {
+    /// Creates a graph with `nodes` vertices and no edges.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); nodes],
+            edge_index: HashMap::new(),
+        }
+    }
+
+    /// Creates a graph with `nodes` vertices and the given edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge endpoint is out of range.
+    pub fn from_edges(nodes: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut g = Self::new(nodes);
+        for e in edges {
+            g.add_edge(e.u, e.v, e.weight);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_index.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_edgeless(&self) -> bool {
+        self.edge_index.is_empty()
+    }
+
+    fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node >= self.node_count() {
+            Err(GraphError::NodeOutOfRange {
+                node,
+                nodes: self.node_count(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds (or re-weights) the undirected edge `{u, v}`.
+    ///
+    /// Returns the previous weight if the edge already existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, if `u == v`, or if the weight
+    /// is negative or not finite.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Option<f64> {
+        self.check_node(u).expect("edge endpoint out of range");
+        self.check_node(v).expect("edge endpoint out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "edge weight must be finite and non-negative"
+        );
+        let key = Self::key(u, v);
+        let previous = self.edge_index.insert(key, weight);
+        if previous.is_some() {
+            for &(a, b) in &[(u, v), (v, u)] {
+                for entry in &mut self.adjacency[a] {
+                    if entry.0 == b {
+                        entry.1 = weight;
+                    }
+                }
+            }
+        } else {
+            self.adjacency[u].push((v, weight));
+            self.adjacency[v].push((u, weight));
+        }
+        previous
+    }
+
+    /// Adds an [`Edge`].
+    pub fn add(&mut self, edge: Edge) -> Option<f64> {
+        self.add_edge(edge.u, edge.v, edge.weight)
+    }
+
+    /// Removes the edge `{u, v}` and returns its weight.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<f64, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let key = Self::key(u, v);
+        let weight = self
+            .edge_index
+            .remove(&key)
+            .ok_or(GraphError::MissingEdge { u, v })?;
+        self.adjacency[u].retain(|&(n, _)| n != v);
+        self.adjacency[v].retain(|&(n, _)| n != u);
+        Ok(weight)
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_index.contains_key(&Self::key(u, v))
+    }
+
+    /// Weight of the edge `{u, v}`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.edge_index.get(&Self::key(u, v)).copied()
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Maximum degree Δ of the graph (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean degree of the graph (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Neighbours of `u` with the connecting edge weights.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, f64)] {
+        &self.adjacency[u]
+    }
+
+    /// Iterator over all edges (each undirected edge reported once).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edge_index
+            .iter()
+            .map(|(&(u, v), &w)| Edge { u, v, weight: w })
+    }
+
+    /// All edges collected and sorted by (weight, endpoints); the
+    /// processing order of `SEQ-GREEDY`.
+    pub fn sorted_edges(&self) -> Vec<Edge> {
+        let mut edges: Vec<Edge> = self.edges().collect();
+        edges.sort();
+        edges
+    }
+
+    /// Sum of all edge weights `w(G)`.
+    pub fn total_weight(&self) -> f64 {
+        self.edge_index.values().sum()
+    }
+
+    /// The *power cost* of the graph: `Σ_u max_{v ∈ N(u)} w(u, v)`
+    /// (Section 1.6, extension 3 of the paper). Isolated nodes contribute 0.
+    pub fn power_cost(&self) -> f64 {
+        self.adjacency
+            .iter()
+            .map(|nbrs| nbrs.iter().map(|&(_, w)| w).fold(0.0_f64, f64::max))
+            .sum()
+    }
+
+    /// Returns a graph on the same vertex set containing only the edges
+    /// accepted by the predicate.
+    pub fn filter_edges(&self, mut keep: impl FnMut(&Edge) -> bool) -> WeightedGraph {
+        let mut g = WeightedGraph::new(self.node_count());
+        for e in self.edges() {
+            if keep(&e) {
+                g.add(e);
+            }
+        }
+        g
+    }
+
+    /// Whether `other` is a subgraph of `self` on the same vertex set
+    /// (every edge of `other` exists in `self`; weights are not compared).
+    pub fn contains_subgraph(&self, other: &WeightedGraph) -> bool {
+        other.node_count() == self.node_count() && other.edges().all(|e| self.has_edge(e.u, e.v))
+    }
+
+    /// Adds enough isolated vertices to reach `nodes` vertices.
+    pub fn grow_to(&mut self, nodes: usize) {
+        while self.adjacency.len() < nodes {
+            self.adjacency.push(Vec::new());
+        }
+    }
+}
+
+impl fmt::Display for WeightedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WeightedGraph(n={}, m={}, w={:.4})",
+            self.node_count(),
+            self.edge_count(),
+            self.total_weight()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> WeightedGraph {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 0, 3.0);
+        g
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.is_edgeless());
+        assert_eq!(g.total_weight(), 6.0);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_edge_overwrites_weight() {
+        let mut g = triangle();
+        assert_eq!(g.add_edge(0, 1, 5.0), Some(1.0));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(5.0));
+        assert_eq!(g.edge_weight(1, 0), Some(5.0));
+        // adjacency updated symmetrically
+        assert!(g.neighbors(0).iter().any(|&(n, w)| n == 1 && w == 5.0));
+        assert!(g.neighbors(1).iter().any(|&(n, w)| n == 0 && w == 5.0));
+    }
+
+    #[test]
+    fn remove_edge_updates_adjacency() {
+        let mut g = triangle();
+        assert_eq!(g.remove_edge(1, 0).unwrap(), 1.0);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(
+            g.remove_edge(0, 1).unwrap_err(),
+            GraphError::MissingEdge { u: 0, v: 1 }
+        );
+    }
+
+    #[test]
+    fn missing_edge_error_displays() {
+        let err = GraphError::MissingEdge { u: 1, v: 2 };
+        assert!(err.to_string().contains("does not exist"));
+        let err = GraphError::NodeOutOfRange { node: 9, nodes: 3 };
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    fn sorted_edges_are_nondecreasing() {
+        let g = triangle();
+        let edges = g.sorted_edges();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.windows(2).all(|w| w[0].weight <= w[1].weight));
+    }
+
+    #[test]
+    fn power_cost_sums_max_incident_weight() {
+        let g = triangle();
+        // node 0: max(1,3)=3, node 1: max(1,2)=2, node 2: max(2,3)=3
+        assert!((g.power_cost() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_and_subgraph_relation() {
+        let g = triangle();
+        let light = g.filter_edges(|e| e.weight <= 2.0);
+        assert_eq!(light.edge_count(), 2);
+        assert!(g.contains_subgraph(&light));
+        assert!(!light.contains_subgraph(&g));
+    }
+
+    #[test]
+    fn from_edges_builder() {
+        let g = WeightedGraph::from_edges(4, vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 2.0)]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(3, 2));
+    }
+
+    #[test]
+    fn grow_to_adds_isolated_vertices() {
+        let mut g = triangle();
+        g.grow_to(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.degree(4), 0);
+        g.grow_to(2);
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = triangle();
+        let s = format!("{g}");
+        assert!(s.contains("n=3"));
+        assert!(s.contains("m=3"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # tc-graph
+//!
+//! Weighted-graph substrate for the topology-control reproduction of
+//! *Local Approximation Schemes for Topology Control* (PODC 2006).
+//!
+//! The spanner algorithms in `tc-spanner` operate on edge-weighted
+//! undirected graphs: the input α-UBG, the partial spanners `G'_i`, the
+//! Das–Narasimhan cluster graphs `H_{i-1}` and the derived conflict graphs
+//! whose maximal independent sets drive clustering and redundant-edge
+//! removal. This crate provides that machinery from scratch:
+//!
+//! * [`WeightedGraph`] — an adjacency-list, undirected, edge-weighted graph,
+//! * [`dijkstra`] — single-source shortest paths, with the bounded-radius
+//!   and early-exit variants the algorithm needs (cluster covers of radius
+//!   `δ·W_{i-1}`, spanner-path queries `sp(u,v) ≤ t·|uv|`),
+//! * [`bfs`] — hop-distance searches and k-hop neighbourhoods (the
+//!   distributed algorithm gathers information from `O(1)` hops),
+//! * [`components`] / [`UnionFind`] — connected components (processing of
+//!   the short-edge bin `E_0` works per component),
+//! * [`mst`] — Kruskal minimum spanning trees, the yardstick for the weight
+//!   guarantee `w(G') = O(w(MST(G)))` of Theorem 13,
+//! * [`mis`] — sequential maximal independent sets (the reference the
+//!   distributed MIS in `tc-simnet` is validated against),
+//! * [`properties`] — measurement of stretch factor, degree statistics and
+//!   weight ratios used by the verification layer and the experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use tc_graph::{WeightedGraph, dijkstra};
+//!
+//! let mut g = WeightedGraph::new(4);
+//! g.add_edge(0, 1, 1.0);
+//! g.add_edge(1, 2, 2.0);
+//! g.add_edge(0, 3, 10.0);
+//! let dist = dijkstra::shortest_path_distances(&g, 0);
+//! assert_eq!(dist[2], Some(3.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod components;
+pub mod dijkstra;
+mod edge;
+mod graph;
+pub mod mis;
+pub mod mst;
+pub mod properties;
+mod union_find;
+
+pub use edge::Edge;
+pub use graph::{GraphError, WeightedGraph};
+pub use union_find::UnionFind;
+
+/// Node identifier: an index into the graph's vertex set `0..n`.
+pub type NodeId = usize;

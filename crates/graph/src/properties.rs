@@ -1,0 +1,239 @@
+//! Measurement of the three spanner properties the paper guarantees.
+//!
+//! * **Stretch** (Theorem 10): for a spanning subgraph `G'` of `G`, the
+//!   stretch factor is `max_{(u,v) ∈ E(G)} sp_{G'}(u, v) / w_G(u, v)`.
+//!   Restricting the maximum to the *edges* of `G` is sufficient: any
+//!   shortest path in `G` is a concatenation of edges of `G`, so if every
+//!   edge is stretched by at most `t` then so is every path.
+//! * **Degree** (Theorem 11): the maximum degree of `G'`.
+//! * **Weight** (Theorem 13): `w(G') / w(MST(G))`.
+
+use crate::{dijkstra, mst, Edge, WeightedGraph};
+use serde::{Deserialize, Serialize};
+
+/// Degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DegreeStats {
+    /// Maximum degree Δ.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+/// Computes degree statistics.
+pub fn degree_stats(graph: &WeightedGraph) -> DegreeStats {
+    DegreeStats {
+        max: graph.max_degree(),
+        mean: graph.mean_degree(),
+    }
+}
+
+/// The stretch of a single edge of the base graph with respect to the
+/// subgraph, together with the edge itself. Infinite when the endpoints are
+/// disconnected in the subgraph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeStretch {
+    /// The base-graph edge being measured.
+    pub edge: Edge,
+    /// `sp_{G'}(u, v) / w_G(u, v)`.
+    pub stretch: f64,
+}
+
+/// Per-edge stretch of `subgraph` with respect to every edge of `base`.
+///
+/// Runs one Dijkstra per distinct edge source, so the cost is
+/// `O(n · m log n)` in the worst case; fine for the n ≤ a few thousand the
+/// experiments use.
+pub fn edge_stretches(base: &WeightedGraph, subgraph: &WeightedGraph) -> Vec<EdgeStretch> {
+    assert_eq!(
+        base.node_count(),
+        subgraph.node_count(),
+        "base and subgraph must share a vertex set"
+    );
+    let mut by_source: Vec<Vec<Edge>> = vec![Vec::new(); base.node_count()];
+    for e in base.edges() {
+        by_source[e.u].push(e);
+    }
+    let mut out = Vec::with_capacity(base.edge_count());
+    for (source, edges) in by_source.iter().enumerate() {
+        if edges.is_empty() {
+            continue;
+        }
+        let dist = dijkstra::shortest_path_distances(subgraph, source);
+        for &e in edges {
+            let sp = dist[e.v].unwrap_or(f64::INFINITY);
+            let stretch = if e.weight == 0.0 {
+                if sp == 0.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                sp / e.weight
+            };
+            out.push(EdgeStretch { edge: e, stretch });
+        }
+    }
+    out
+}
+
+/// The maximum stretch of `subgraph` over all edges of `base`
+/// (1.0 for an edgeless base graph).
+pub fn stretch_factor(base: &WeightedGraph, subgraph: &WeightedGraph) -> f64 {
+    edge_stretches(base, subgraph)
+        .into_iter()
+        .map(|s| s.stretch)
+        .fold(1.0_f64, f64::max)
+}
+
+/// Ratio `w(subgraph) / w(MST(base))`; `f64::INFINITY` if the base MST has
+/// zero weight while the subgraph does not.
+pub fn weight_ratio(base: &WeightedGraph, subgraph: &WeightedGraph) -> f64 {
+    let mst_w = mst::mst_weight(base);
+    let sub_w = subgraph.total_weight();
+    if mst_w == 0.0 {
+        if sub_w == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        sub_w / mst_w
+    }
+}
+
+/// A compact summary of all the measured spanner properties, as reported by
+/// the experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpannerReport {
+    /// Number of nodes of the base graph.
+    pub nodes: usize,
+    /// Number of edges of the base graph.
+    pub base_edges: usize,
+    /// Number of edges kept by the subgraph.
+    pub spanner_edges: usize,
+    /// Measured stretch factor.
+    pub stretch: f64,
+    /// Maximum degree of the subgraph.
+    pub max_degree: usize,
+    /// Mean degree of the subgraph.
+    pub mean_degree: f64,
+    /// `w(G')` (total weight of the subgraph).
+    pub weight: f64,
+    /// `w(G') / w(MST(G))`.
+    pub weight_ratio: f64,
+    /// Power cost of the subgraph (Section 1.6 extension 3).
+    pub power_cost: f64,
+}
+
+/// Measures every property of `subgraph` relative to `base` in one pass.
+pub fn spanner_report(base: &WeightedGraph, subgraph: &WeightedGraph) -> SpannerReport {
+    let deg = degree_stats(subgraph);
+    SpannerReport {
+        nodes: base.node_count(),
+        base_edges: base.edge_count(),
+        spanner_edges: subgraph.edge_count(),
+        stretch: stretch_factor(base, subgraph),
+        max_degree: deg.max,
+        mean_degree: deg.mean,
+        weight: subgraph.total_weight(),
+        weight_ratio: weight_ratio(base, subgraph),
+        power_cost: subgraph.power_cost(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonals() -> WeightedGraph {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 0, 1.0);
+        g.add_edge(0, 2, 2.0_f64.sqrt());
+        g.add_edge(1, 3, 2.0_f64.sqrt());
+        g
+    }
+
+    #[test]
+    fn identical_graphs_have_stretch_one() {
+        let g = square_with_diagonals();
+        assert!((stretch_factor(&g, &g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropping_a_diagonal_raises_stretch_to_sqrt2() {
+        let g = square_with_diagonals();
+        let sub = g.filter_edges(|e| !(e.u == 0 && e.v == 2));
+        let s = stretch_factor(&g, &sub);
+        assert!((s - 2.0_f64.sqrt()).abs() < 1e-9, "stretch was {s}");
+    }
+
+    #[test]
+    fn disconnected_subgraph_has_infinite_stretch() {
+        let g = square_with_diagonals();
+        let sub = g.filter_edges(|e| !e.touches(3));
+        assert!(stretch_factor(&g, &sub).is_infinite());
+    }
+
+    #[test]
+    fn weight_ratio_of_mst_is_one() {
+        let g = square_with_diagonals();
+        let tree = mst::kruskal(&g).to_graph(4);
+        assert!((weight_ratio(&g, &tree) - 1.0).abs() < 1e-12);
+        assert!(weight_ratio(&g, &g) > 1.0);
+    }
+
+    #[test]
+    fn weight_ratio_handles_edgeless_base() {
+        let base = WeightedGraph::new(3);
+        let sub = WeightedGraph::new(3);
+        assert_eq!(weight_ratio(&base, &sub), 1.0);
+        let mut nonempty = WeightedGraph::new(3);
+        nonempty.add_edge(0, 1, 1.0);
+        assert!(weight_ratio(&base, &nonempty).is_infinite());
+    }
+
+    #[test]
+    fn degree_stats_of_star() {
+        let mut g = WeightedGraph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v, 1.0);
+        }
+        let stats = degree_stats(&g);
+        assert_eq!(stats.max, 4);
+        assert!((stats.mean - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_collects_all_fields() {
+        let g = square_with_diagonals();
+        let sub = mst::kruskal(&g).to_graph(4);
+        let report = spanner_report(&g, &sub);
+        assert_eq!(report.nodes, 4);
+        assert_eq!(report.base_edges, 6);
+        assert_eq!(report.spanner_edges, 3);
+        assert!(report.stretch >= 1.0);
+        assert!(report.weight_ratio >= 1.0 - 1e-12);
+        assert!(report.power_cost > 0.0);
+        assert_eq!(report.max_degree, sub.max_degree());
+    }
+
+    #[test]
+    fn edge_stretches_cover_every_base_edge() {
+        let g = square_with_diagonals();
+        let stretches = edge_stretches(&g, &g);
+        assert_eq!(stretches.len(), g.edge_count());
+        assert!(stretches.iter().all(|s| (s.stretch - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a vertex set")]
+    fn mismatched_vertex_sets_panic() {
+        let g = square_with_diagonals();
+        let h = WeightedGraph::new(3);
+        let _ = stretch_factor(&g, &h);
+    }
+}

@@ -1,0 +1,145 @@
+//! Disjoint-set forest (union–find) with path compression and union by
+//! rank; used by Kruskal's MST and by connected-component labelling.
+
+/// A union–find structure over the elements `0..n`.
+///
+/// ```
+/// use tc_graph::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// assert_eq!(uf.component_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of the set containing `x`, with path compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` lie in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn component_count_matches_reachability(ops in proptest::collection::vec((0usize..12, 0usize..12), 0..40)) {
+            let n = 12;
+            let mut uf = UnionFind::new(n);
+            // Reference: adjacency + BFS reachability.
+            let mut adj = vec![vec![]; n];
+            for &(a, b) in &ops {
+                uf.union(a, b);
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+            // Count components by BFS.
+            let mut seen = vec![false; n];
+            let mut comps = 0;
+            for s in 0..n {
+                if seen[s] { continue; }
+                comps += 1;
+                let mut stack = vec![s];
+                seen[s] = true;
+                while let Some(u) = stack.pop() {
+                    for &v in &adj[u] {
+                        if !seen[v] { seen[v] = true; stack.push(v); }
+                    }
+                }
+            }
+            prop_assert_eq!(uf.component_count(), comps);
+        }
+    }
+}

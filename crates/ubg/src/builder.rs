@@ -1,0 +1,232 @@
+//! Construction of α-quasi unit ball graphs from point sets.
+
+use crate::{GreyZonePolicy, UnitBallGraph};
+use tc_geometry::{GridIndex, Point};
+use tc_graph::WeightedGraph;
+
+/// Builds a realised α-UBG from node positions.
+///
+/// Every pair at distance at most `α` is connected (as the model requires);
+/// pairs in the grey zone `(α, 1]` are resolved by the configured
+/// [`GreyZonePolicy`]; pairs farther than 1 are never connected. Edge
+/// weights are Euclidean distances.
+///
+/// Neighbour candidates are found through a spatial hash with cell side 1,
+/// so construction is near-linear for bounded-density deployments.
+///
+/// # Example
+///
+/// ```
+/// use tc_ubg::{UbgBuilder, GreyZonePolicy};
+/// use tc_geometry::Point;
+///
+/// let points = vec![
+///     Point::new2(0.0, 0.0),
+///     Point::new2(0.3, 0.0),
+///     Point::new2(0.9, 0.0),
+///     Point::new2(2.5, 0.0),
+/// ];
+/// let ubg = UbgBuilder::new(0.5)
+///     .grey_zone(GreyZonePolicy::Never)
+///     .build(points);
+/// assert!(ubg.graph().has_edge(0, 1));      // 0.3 <= alpha
+/// assert!(!ubg.graph().has_edge(0, 2));     // grey zone, policy = Never
+/// assert!(!ubg.graph().has_edge(2, 3));     // farther than 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct UbgBuilder {
+    alpha: f64,
+    policy: GreyZonePolicy,
+}
+
+impl UbgBuilder {
+    /// Creates a builder for the given `α ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+        Self {
+            alpha,
+            policy: GreyZonePolicy::Always,
+        }
+    }
+
+    /// Builder for the classical unit disk/ball graph (`α = 1`, so there is
+    /// no grey zone).
+    pub fn unit_disk() -> Self {
+        Self::new(1.0)
+    }
+
+    /// Sets the grey-zone policy (default: [`GreyZonePolicy::Always`]).
+    pub fn grey_zone(mut self, policy: GreyZonePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configured `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The configured grey-zone policy.
+    pub fn policy(&self) -> GreyZonePolicy {
+        self.policy
+    }
+
+    /// Builds the realised α-UBG on the given points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points do not all share one dimension.
+    pub fn build(&self, points: Vec<Point>) -> UnitBallGraph {
+        let n = points.len();
+        let mut graph = WeightedGraph::new(n);
+        if n > 1 {
+            let grid = GridIndex::build(&points, 1.0);
+            for u in 0..n {
+                for v in grid.neighbors_within(&points, u, 1.0) {
+                    if v <= u {
+                        continue;
+                    }
+                    let dist = points[u].distance(&points[v]);
+                    let connect = if dist <= self.alpha {
+                        true
+                    } else {
+                        self.policy.connects(
+                            u,
+                            v,
+                            dist,
+                            self.alpha,
+                            points[u].coords(),
+                            points[v].coords(),
+                        )
+                    };
+                    if connect {
+                        graph.add_edge(u, v, dist);
+                    }
+                }
+            }
+        }
+        UnitBallGraph::from_parts(points, self.alpha, graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(seed: u64, n: usize, dim: usize, side: f64) -> Vec<Point> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new((0..dim).map(|_| rng.gen_range(0.0..side)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn mandatory_and_forbidden_edges() {
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.4, 0.0),
+            Point::new2(0.8, 0.0),
+            Point::new2(2.0, 0.0),
+        ];
+        let ubg = UbgBuilder::new(0.5).build(points);
+        assert!(ubg.graph().has_edge(0, 1));
+        assert!(ubg.graph().has_edge(1, 2)); // 0.4 <= alpha
+        assert!(ubg.graph().has_edge(0, 2)); // grey zone but policy Always
+        assert!(!ubg.graph().has_edge(0, 3)); // > 1
+        assert!(ubg.is_valid_alpha_ubg());
+        assert!((ubg.graph().edge_weight(0, 2).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_disk_builder_has_no_grey_zone() {
+        let b = UbgBuilder::unit_disk();
+        assert_eq!(b.alpha(), 1.0);
+        let points = vec![Point::new2(0.0, 0.0), Point::new2(0.99, 0.0), Point::new2(2.0, 0.0)];
+        let ubg = b.build(points);
+        assert!(ubg.graph().has_edge(0, 1));
+        assert!(!ubg.graph().has_edge(1, 2));
+    }
+
+    #[test]
+    fn never_policy_gives_alpha_ball_graph() {
+        let points = random_points(5, 60, 2, 3.0);
+        let ubg = UbgBuilder::new(0.6).grey_zone(GreyZonePolicy::Never).build(points);
+        for e in ubg.graph().edges() {
+            assert!(e.weight <= 0.6 + 1e-12);
+        }
+        assert!(ubg.is_valid_alpha_ubg());
+    }
+
+    #[test]
+    fn probabilistic_policy_is_between_never_and_always() {
+        let points = random_points(6, 120, 2, 3.0);
+        let never = UbgBuilder::new(0.5)
+            .grey_zone(GreyZonePolicy::Never)
+            .build(points.clone())
+            .graph()
+            .edge_count();
+        let half = UbgBuilder::new(0.5)
+            .grey_zone(GreyZonePolicy::Probabilistic { probability: 0.5, seed: 3 })
+            .build(points.clone())
+            .graph()
+            .edge_count();
+        let always = UbgBuilder::new(0.5)
+            .grey_zone(GreyZonePolicy::Always)
+            .build(points)
+            .graph()
+            .edge_count();
+        assert!(never <= half && half <= always);
+        assert!(never < always, "test instance should have a non-empty grey zone");
+    }
+
+    #[test]
+    fn three_dimensional_instances_build() {
+        let points = random_points(7, 80, 3, 2.0);
+        let ubg = UbgBuilder::new(0.75).build(points);
+        assert_eq!(ubg.dim(), 3);
+        assert!(ubg.is_valid_alpha_ubg());
+    }
+
+    #[test]
+    fn empty_and_singleton_point_sets() {
+        let empty = UbgBuilder::new(0.5).build(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.graph().edge_count(), 0);
+        let single = UbgBuilder::new(0.5).build(vec![Point::new2(1.0, 1.0)]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.graph().edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie in (0, 1]")]
+    fn zero_alpha_rejected() {
+        let _ = UbgBuilder::new(0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn built_graphs_satisfy_the_model_constraints(
+            seed in 0u64..500,
+            n in 0usize..80,
+            alpha in 0.2f64..1.0,
+            policy_idx in 0usize..4,
+        ) {
+            let points = random_points(seed, n, 2, 3.0);
+            let policy = match policy_idx {
+                0 => GreyZonePolicy::Always,
+                1 => GreyZonePolicy::Never,
+                2 => GreyZonePolicy::Probabilistic { probability: 0.5, seed },
+                _ => GreyZonePolicy::DistanceFalloff { seed },
+            };
+            let ubg = UbgBuilder::new(alpha).grey_zone(policy).build(points);
+            prop_assert!(ubg.is_valid_alpha_ubg());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Round complexity of the distributed algorithm.
+//!
+//! Sweeps the network size and prints the measured number of communication
+//! rounds next to the paper's `O(log n · log* n)` reference, including the
+//! per-step breakdown of one run (cluster-cover MIS vs. constant-round
+//! gathering steps).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example distributed_rounds
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tc_spanner::{DistributedRelaxedGreedy, MisProtocol, SpannerParams};
+use tc_ubg::{generators, UbgBuilder};
+
+fn build(seed: u64, n: usize) -> tc_ubg::UnitBallGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let side = generators::side_for_target_degree(n, 2, 12.0);
+    let points = generators::uniform_points(&mut rng, n, 2, side);
+    UbgBuilder::unit_disk().build(points)
+}
+
+fn main() {
+    let params = SpannerParams::for_epsilon(1.0, 1.0).expect("valid parameters");
+    println!("{:>6} {:>8} {:>12} {:>10} {:>12}", "n", "rounds", "logn*log*n", "ratio", "messages");
+    for &n in &[50usize, 100, 200, 400] {
+        let ubg = build(100 + n as u64, n);
+        let out = DistributedRelaxedGreedy::new(params)
+            .with_mis_protocol(MisProtocol::Luby { seed: 1 })
+            .run(&ubg);
+        let reference = out.log_n * out.log_star_n.max(1) as f64;
+        println!(
+            "{:>6} {:>8} {:>12.1} {:>10.2} {:>12}",
+            n,
+            out.rounds,
+            reference,
+            out.rounds as f64 / reference,
+            out.messages
+        );
+    }
+
+    // Per-step breakdown of one run.
+    let ubg = build(7, 200);
+    let out = DistributedRelaxedGreedy::new(params).run(&ubg);
+    let total = out.rounds as f64;
+    let mut by_step: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for (label, stats) in out.ledger.entries() {
+        let step = label.split('/').skip(1).collect::<Vec<_>>().join("/");
+        *by_step.entry(step).or_insert(0) += stats.rounds;
+    }
+    println!("\nper-step round breakdown for n = 200 ({} rounds total):", out.rounds);
+    for (step, rounds) in by_step {
+        println!("  {:30} {:>6} rounds ({:>5.1}%)", step, rounds, 100.0 * rounds as f64 / total);
+    }
+}

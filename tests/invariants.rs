@@ -1,0 +1,114 @@
+//! Property-based integration tests: the paper's guarantees must hold for
+//! randomly drawn instances across the whole parameter space the model
+//! allows (dimension, α, grey-zone policy, density, ε).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topology_control::prelude::*;
+
+fn deploy(
+    seed: u64,
+    n: usize,
+    dim: usize,
+    alpha: f64,
+    policy_idx: usize,
+    target_degree: f64,
+) -> UnitBallGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let side = generators::side_for_target_degree(n, dim, target_degree);
+    let points = generators::uniform_points(&mut rng, n, dim, side);
+    let policy = match policy_idx {
+        0 => GreyZonePolicy::Always,
+        1 => GreyZonePolicy::Never,
+        2 => GreyZonePolicy::Probabilistic {
+            probability: 0.5,
+            seed,
+        },
+        _ => GreyZonePolicy::DistanceFalloff { seed },
+    };
+    UbgBuilder::new(alpha).grey_zone(policy).build(points)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 10, across the whole model space: the spanner never
+    /// stretches an input edge beyond t = 1 + ε.
+    #[test]
+    fn stretch_guarantee_holds_for_random_instances(
+        seed in 0u64..10_000,
+        n in 20usize..90,
+        dim in 2usize..4,
+        alpha_pct in 3usize..11,
+        policy_idx in 0usize..4,
+        eps_idx in 0usize..3,
+    ) {
+        let alpha = (alpha_pct as f64 * 0.1).min(1.0);
+        let eps = [0.25, 0.5, 1.0][eps_idx];
+        let network = deploy(seed, n, dim, alpha, policy_idx, 10.0);
+        prop_assume!(network.graph().edge_count() > 0);
+        let result = build_spanner(&network, eps).unwrap();
+        let report = verify_spanner(network.graph(), &result.spanner, result.params.t);
+        prop_assert!(report.stretch_ok, "violations: {:?}", report.violations);
+    }
+
+    /// The spanner is never larger than the input and always spans the
+    /// same vertex set.
+    #[test]
+    fn spanner_is_a_subgraph_with_linear_size(
+        seed in 0u64..10_000,
+        n in 20usize..80,
+    ) {
+        let network = deploy(seed, n, 2, 1.0, 0, 14.0);
+        let result = build_spanner(&network, 0.5).unwrap();
+        prop_assert!(network.graph().contains_subgraph(&result.spanner));
+        prop_assert!(result.spanner.edge_count() <= network.graph().edge_count());
+        // Linear-size bound with a generous constant.
+        prop_assert!(result.spanner.edge_count() <= 10 * n);
+    }
+
+    /// The distributed construction obeys the same stretch bound and
+    /// reports non-trivial, sub-quadratic round counts.
+    #[test]
+    fn distributed_guarantees_hold_for_random_instances(
+        seed in 0u64..10_000,
+        n in 20usize..60,
+        eps_idx in 0usize..2,
+    ) {
+        let eps = [0.5, 1.0][eps_idx];
+        let network = deploy(seed, n, 2, 1.0, 0, 12.0);
+        prop_assume!(network.graph().edge_count() > 0);
+        let out = build_spanner_distributed(&network, eps).unwrap();
+        let report = verify_spanner(network.graph(), &out.result.spanner, 1.0 + eps);
+        prop_assert!(report.stretch_ok);
+        prop_assert!(out.rounds > 0);
+        // The constant in front of the polylog bound is dominated by the
+        // number of non-empty weight bins (~1/ln r with strict Theorem-13
+        // parameters); 400 is a generous ceiling for it.
+        let polylog_budget = 400.0 * out.log_n * out.log_star_n.max(1) as f64;
+        prop_assert!(
+            (out.rounds as f64) < polylog_budget,
+            "rounds {} exceed the polylog budget {}", out.rounds, polylog_budget
+        );
+    }
+
+    /// Every baseline stays inside the radio graph and preserves
+    /// connectivity whenever the input is connected.
+    #[test]
+    fn baselines_preserve_connectivity(
+        seed in 0u64..10_000,
+        n in 30usize..90,
+    ) {
+        let network = deploy(seed, n, 2, 1.0, 0, 14.0);
+        prop_assume!(topology_control::graph::components::is_connected(network.graph()));
+        for baseline in Baseline::all() {
+            let graph = baseline.build(&network);
+            prop_assert!(network.graph().contains_subgraph(&graph), "{}", baseline.name());
+            prop_assert!(
+                topology_control::graph::components::is_connected(&graph),
+                "{} disconnected the network", baseline.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests phrased directly against the paper's numbered
+//! claims, on mid-size instances (one per claim, so a failure pinpoints
+//! which theorem's reproduction regressed).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topology_control::prelude::*;
+use topology_control::simnet::{log2_ceil, log_star};
+use topology_control::spanner::verify::leapfrog_violations;
+
+fn network(seed: u64, n: usize) -> UnitBallGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let side = generators::side_for_target_degree(n, 2, 12.0);
+    let points = generators::uniform_points(&mut rng, n, 2, side);
+    UbgBuilder::unit_disk().build(points)
+}
+
+/// Lemma 1: every connected component of the short-edge graph G_0 induces
+/// a clique.
+#[test]
+fn lemma1_short_edge_components_are_cliques() {
+    let net = network(100, 200);
+    let n = net.len();
+    let threshold = net.alpha() / n as f64;
+    let g0 = net.graph().filter_edges(|e| e.weight <= threshold);
+    assert!(topology_control::graph::components::components_are_cliques(&g0));
+}
+
+/// Theorem 10: the output is a t-spanner, for several values of epsilon on
+/// the same instance.
+#[test]
+fn theorem10_stretch_for_multiple_epsilons() {
+    let net = network(101, 180);
+    for eps in [0.25, 0.5, 1.0, 2.0] {
+        let result = build_spanner(&net, eps).unwrap();
+        let report = verify_spanner(net.graph(), &result.spanner, 1.0 + eps);
+        assert!(report.stretch_ok, "eps = {eps}: violations {:?}", report.violations);
+    }
+}
+
+/// Theorem 11: the maximum degree does not grow with n (measured over a
+/// geometric n sweep at fixed density).
+#[test]
+fn theorem11_degree_does_not_grow_with_n() {
+    let mut degrees = Vec::new();
+    for (i, n) in [60usize, 120, 240, 480].into_iter().enumerate() {
+        let net = network(200 + i as u64, n);
+        let result = build_spanner(&net, 0.5).unwrap();
+        degrees.push(result.spanner.max_degree());
+    }
+    let max = *degrees.iter().max().unwrap();
+    let min = *degrees.iter().min().unwrap();
+    assert!(max <= 16, "degrees grew to {max}: {degrees:?}");
+    // An 8x increase in n should not even double the maximum degree.
+    assert!(max <= 2 * min.max(4), "degree trend {degrees:?} looks unbounded");
+}
+
+/// Theorem 13: the spanner weight stays within a constant factor of the
+/// MST weight while the input graph's weight grows much faster.
+#[test]
+fn theorem13_weight_stays_near_mst() {
+    let mut ratios = Vec::new();
+    for (i, n) in [60usize, 120, 240, 480].into_iter().enumerate() {
+        let net = network(300 + i as u64, n);
+        let result = build_spanner(&net, 0.5).unwrap();
+        let ratio = topology_control::graph::properties::weight_ratio(net.graph(), &result.spanner);
+        ratios.push(ratio);
+        let input_ratio =
+            topology_control::graph::properties::weight_ratio(net.graph(), net.graph());
+        assert!(ratio < input_ratio, "the spanner must be lighter than the input");
+    }
+    assert!(ratios.iter().all(|r| *r < 12.0), "weight ratios {ratios:?}");
+    // The ratio must not grow systematically with n (constant-factor claim).
+    assert!(
+        ratios.last().unwrap() <= &(2.0 * ratios.first().unwrap().max(2.0)),
+        "weight ratio trend {ratios:?} looks unbounded"
+    );
+}
+
+/// Main theorem: the distributed round count grows far slower than n —
+/// consistent with the O(log n · log* n) claim (we check the measured
+/// growth factor against the polylog reference growth).
+#[test]
+fn main_theorem_round_growth_is_polylogarithmic_in_shape() {
+    let mut measurements = Vec::new();
+    for (i, n) in [50usize, 200, 800].into_iter().enumerate() {
+        let net = network(400 + i as u64, n);
+        let out = build_spanner_distributed(&net, 1.0).unwrap();
+        measurements.push((n, out.rounds));
+    }
+    let (n_small, r_small) = measurements[0];
+    let (n_large, r_large) = measurements[2];
+    let n_growth = n_large as f64 / n_small as f64; // 16x
+    let round_growth = r_large as f64 / r_small.max(1) as f64;
+    let reference_growth = (log2_ceil(n_large) * log_star(n_large) as f64)
+        / (log2_ceil(n_small) * log_star(n_small) as f64);
+    // Rounds must grow dramatically slower than n, and within a small
+    // factor of the polylog reference growth.
+    assert!(
+        round_growth < n_growth / 2.0,
+        "rounds grew {round_growth:.1}x for a {n_growth:.0}x larger network: {measurements:?}"
+    );
+    assert!(
+        round_growth <= 4.0 * reference_growth.max(1.0),
+        "round growth {round_growth:.2} vs polylog reference {reference_growth:.2}: {measurements:?}"
+    );
+}
+
+/// Theorem 13's machinery: the pairwise leapfrog inequality holds on the
+/// constructed spanner for t2 in the range the theorem actually promises.
+#[test]
+fn leapfrog_property_spot_check() {
+    let net = network(500, 150);
+    let result = build_spanner(&net, 0.5).unwrap();
+    let violations = leapfrog_violations(net.points(), &result.spanner, 1.0005, result.params.t);
+    assert!(violations.is_empty(), "{} violations", violations.len());
+}
+
+/// Section 1.2: the spanner has linear size (O(n) edges).
+#[test]
+fn linear_size_claim() {
+    for (i, n) in [100usize, 400].into_iter().enumerate() {
+        let net = network(600 + i as u64, n);
+        let result = build_spanner(&net, 0.5).unwrap();
+        let edges_per_node = result.spanner.edge_count() as f64 / n as f64;
+        assert!(
+            edges_per_node < 6.0,
+            "n = {n}: {edges_per_node:.2} edges per node is not 'linear size' with a small constant"
+        );
+    }
+}
