@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn all_baselines_preserve_connectivity_on_a_connected_input() {
         let ubg = sample(2, 120);
-        assert!(components::is_connected(ubg.graph()), "test instance must be connected");
+        assert!(
+            components::is_connected(ubg.graph()),
+            "test instance must be connected"
+        );
         for baseline in Baseline::all() {
             let out = baseline.build(&ubg);
             assert!(

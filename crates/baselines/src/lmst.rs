@@ -31,7 +31,9 @@ pub fn lmst(ubg: &UnitBallGraph) -> WeightedGraph {
             if e.u == local_u || e.v == local_u {
                 let a = members[e.u];
                 let b = members[e.v];
-                *marks.entry(if a < b { (a, b) } else { (b, a) }).or_insert(0) += 1;
+                *marks
+                    .entry(if a < b { (a, b) } else { (b, a) })
+                    .or_insert(0) += 1;
             }
         }
     }
@@ -66,9 +68,16 @@ mod tests {
         let ubg = sample(1, 130);
         let out = lmst(&ubg);
         assert!(out.edge_count() < ubg.graph().edge_count());
-        assert!(components::is_connected(&out), "LMST must preserve connectivity");
+        assert!(
+            components::is_connected(&out),
+            "LMST must preserve connectivity"
+        );
         // The classical result: LMST degree is at most 6 on UDGs.
-        assert!(out.max_degree() <= 6, "degree {} exceeds 6", out.max_degree());
+        assert!(
+            out.max_degree() <= 6,
+            "degree {} exceeds 6",
+            out.max_degree()
+        );
         assert!(ubg.graph().contains_subgraph(&out));
     }
 
@@ -103,10 +112,8 @@ mod tests {
     fn degenerate_inputs() {
         let empty = UbgBuilder::unit_disk().build(vec![]);
         assert_eq!(lmst(&empty).edge_count(), 0);
-        let pair = UbgBuilder::unit_disk().build(vec![
-            Point::new2(0.0, 0.0),
-            Point::new2(0.4, 0.0),
-        ]);
+        let pair =
+            UbgBuilder::unit_disk().build(vec![Point::new2(0.0, 0.0), Point::new2(0.4, 0.0)]);
         assert_eq!(lmst(&pair).edge_count(), 1);
     }
 }

@@ -23,7 +23,8 @@ pub fn gabriel_graph(ubg: &UnitBallGraph) -> WeightedGraph {
         let blocked = (0..n).any(|w| {
             w != e.u
                 && w != e.v
-                && points[e.u].distance_squared(&points[w]) + points[e.v].distance_squared(&points[w])
+                && points[e.u].distance_squared(&points[w])
+                    + points[e.v].distance_squared(&points[w])
                     < duv2 - 1e-15
         });
         if !blocked {

@@ -29,10 +29,7 @@ pub fn xtc(ubg: &UnitBallGraph) -> WeightedGraph {
         let rank_vu = rank(ubg, v, u);
         // Drop if some common neighbour w beats v for u AND beats u for v.
         let dropped = graph.neighbors(u).iter().any(|&(w, _)| {
-            w != v
-                && graph.has_edge(v, w)
-                && rank(ubg, u, w) < rank_uv
-                && rank(ubg, v, w) < rank_vu
+            w != v && graph.has_edge(v, w) && rank(ubg, u, w) < rank_uv && rank(ubg, v, w) < rank_vu
         });
         if !dropped {
             keep.add(e);
@@ -101,10 +98,8 @@ mod tests {
         assert_eq!(xtc(&empty).edge_count(), 0);
         let single = UbgBuilder::unit_disk().build(vec![Point::new2(0.0, 0.0)]);
         assert_eq!(xtc(&single).edge_count(), 0);
-        let pair = UbgBuilder::unit_disk().build(vec![
-            Point::new2(0.0, 0.0),
-            Point::new2(0.5, 0.0),
-        ]);
+        let pair =
+            UbgBuilder::unit_disk().build(vec![Point::new2(0.0, 0.0), Point::new2(0.5, 0.0)]);
         assert_eq!(xtc(&pair).edge_count(), 1);
     }
 }

@@ -109,7 +109,10 @@ mod tests {
         let yao = yao_graph(&ubg, 12);
         let s = stretch_factor(ubg.graph(), &yao);
         assert!(s.is_finite());
-        assert!(s < 3.0, "stretch {s} unexpectedly large for a 12-cone Yao graph");
+        assert!(
+            s < 3.0,
+            "stretch {s} unexpectedly large for a 12-cone Yao graph"
+        );
     }
 
     #[test]

@@ -17,13 +17,9 @@ fn bench_fault(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_fault_tolerance");
     group.sample_size(10);
     for &k in &[0usize, 1, 2] {
-        group.bench_with_input(
-            BenchmarkId::new("fault_tolerant_greedy", k),
-            &k,
-            |b, &k| {
-                b.iter(|| fault_tolerant_greedy(ubg.graph(), 2.0, k));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fault_tolerant_greedy", k), &k, |b, &k| {
+            b.iter(|| fault_tolerant_greedy(ubg.graph(), 2.0, k));
+        });
     }
     let spanner = fault_tolerant_greedy(ubg.graph(), 2.0, 1);
     group.bench_function("fault_injection_10_trials", |b| {

@@ -16,9 +16,13 @@ fn bench_stretch(c: &mut Criterion) {
     for &eps in &[0.25, 0.5, 1.0] {
         let ubg = Workload::udg(11, 150).build();
         let params = SpannerParams::for_epsilon(eps, 1.0).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("eps={eps}")), &eps, |b, _| {
-            b.iter(|| RelaxedGreedy::new(params).run(&ubg));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps={eps}")),
+            &eps,
+            |b, _| {
+                b.iter(|| RelaxedGreedy::new(params).run(&ubg));
+            },
+        );
     }
     group.finish();
 }

@@ -116,7 +116,13 @@ pub fn e2_degree(scale: Scale) -> Table {
     let mut table = Table::new(
         "E2",
         "Maximum degree vs. n (Theorem 11)",
-        &["n", "input max deg", "spanner max deg", "spanner mean deg", "edges per node"],
+        &[
+            "n",
+            "input max deg",
+            "spanner max deg",
+            "spanner mean deg",
+            "edges per node",
+        ],
     );
     let eps = 0.5;
     let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = scale
@@ -149,7 +155,13 @@ pub fn e3_weight(scale: Scale) -> Table {
     let mut table = Table::new(
         "E3",
         "Weight vs. MST (Theorem 13)",
-        &["n", "w(MST)", "w(spanner)", "w(spanner)/w(MST)", "w(input)/w(MST)"],
+        &[
+            "n",
+            "w(MST)",
+            "w(spanner)",
+            "w(spanner)/w(MST)",
+            "w(input)/w(MST)",
+        ],
     );
     let eps = 0.5;
     let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = scale
@@ -182,7 +194,15 @@ pub fn e4_rounds(scale: Scale) -> Table {
     let mut table = Table::new(
         "E4",
         "Distributed rounds vs. n (main theorem)",
-        &["n", "rounds", "log2 n", "log* n", "rounds/(log n·log* n)", "MIS messages", "phases"],
+        &[
+            "n",
+            "rounds",
+            "log2 n",
+            "log* n",
+            "rounds/(log n·log* n)",
+            "MIS messages",
+            "phases",
+        ],
     );
     let eps = 1.0;
     let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = scale
@@ -191,7 +211,8 @@ pub fn e4_rounds(scale: Scale) -> Table {
         .map(|n| {
             Box::new(move || {
                 let ubg = Workload::udg(4000 + n as u64, n).build();
-                let params = SpannerParams::for_epsilon(eps, ubg.alpha()).expect("valid parameters");
+                let params =
+                    SpannerParams::for_epsilon(eps, ubg.alpha()).expect("valid parameters");
                 let out = DistributedRelaxedGreedy::new(params).run(&ubg);
                 vec![
                     n.to_string(),
@@ -217,7 +238,14 @@ pub fn e5_baselines(scale: Scale) -> Table {
     let mut table = Table::new(
         "E5",
         "Comparison with classical topology-control algorithms",
-        &["algorithm", "edges", "max deg", "stretch", "w/w(MST)", "power cost ratio"],
+        &[
+            "algorithm",
+            "edges",
+            "max deg",
+            "stretch",
+            "w/w(MST)",
+            "power cost ratio",
+        ],
     );
     let n = scale.comparison_n();
     let ubg = Workload::udg(555, n).build();
@@ -226,10 +254,7 @@ pub fn e5_baselines(scale: Scale) -> Table {
     let mut entries: Vec<(String, WeightedGraph)> = Vec::new();
     let (_, relaxed) = run_sequential(&ubg, eps);
     entries.push(("relaxed-greedy (this paper)".to_string(), relaxed));
-    entries.push((
-        "seq-greedy".to_string(),
-        seq_greedy(ubg.graph(), 1.0 + eps),
-    ));
+    entries.push(("seq-greedy".to_string(), seq_greedy(ubg.graph(), 1.0 + eps)));
     for baseline in Baseline::all() {
         entries.push((baseline.name(), baseline.build(&ubg)));
     }
@@ -255,7 +280,14 @@ pub fn e6_alpha(scale: Scale) -> Table {
     let mut table = Table::new(
         "E6",
         "Sensitivity to alpha (quasi-UBG generality)",
-        &["alpha", "input edges", "spanner edges", "stretch", "max deg", "w/w(MST)"],
+        &[
+            "alpha",
+            "input edges",
+            "spanner edges",
+            "stretch",
+            "max deg",
+            "w/w(MST)",
+        ],
     );
     let n = scale.comparison_n();
     let eps = 1.0;
@@ -275,7 +307,11 @@ pub fn e6_alpha(scale: Scale) -> Table {
                     fmt_f(alpha),
                     report.base_edges.to_string(),
                     report.spanner_edges.to_string(),
-                    format!("{} ({})", fmt_f(report.stretch), if ok { "ok" } else { "VIOLATION" }),
+                    format!(
+                        "{} ({})",
+                        fmt_f(report.stretch),
+                        if ok { "ok" } else { "VIOLATION" }
+                    ),
                     report.max_degree.to_string(),
                     fmt_f(report.weight_ratio),
                 ]
@@ -294,7 +330,14 @@ pub fn e7_energy(scale: Scale) -> Table {
     let mut table = Table::new(
         "E7",
         "Energy spanners and power cost (Section 1.6, extensions 2-3)",
-        &["gamma", "energy stretch", "t", "spanner power cost", "full power cost", "ratio"],
+        &[
+            "gamma",
+            "energy stretch",
+            "t",
+            "spanner power cost",
+            "full power cost",
+            "ratio",
+        ],
     );
     let n = scale.comparison_n();
     let eps = 0.5;
@@ -334,7 +377,14 @@ pub fn e8_fault_tolerance(scale: Scale) -> Table {
     let mut table = Table::new(
         "E8",
         "Fault tolerance (Section 1.6, extension 1)",
-        &["k", "edges kept", "edges/n", "worst residual stretch", "violations", "trials"],
+        &[
+            "k",
+            "edges kept",
+            "edges/n",
+            "worst residual stretch",
+            "violations",
+            "trials",
+        ],
     );
     let n = scale.comparison_n().min(160);
     let t = 2.0;
@@ -376,7 +426,14 @@ pub fn e9_ablation(scale: Scale) -> Table {
     let mut table = Table::new(
         "E9",
         "Ablation of the relaxed-greedy mechanisms (coarse bins, r = 1.5)",
-        &["variant", "edges", "max deg", "stretch", "w/w(MST)", "within target"],
+        &[
+            "variant",
+            "edges",
+            "max deg",
+            "stretch",
+            "w/w(MST)",
+            "within target",
+        ],
     );
     let n = scale.comparison_n();
     let ubg = Workload::udg(777, n).build();
@@ -430,7 +487,13 @@ pub fn f1_stretch_cdf(scale: Scale) -> Table {
         .map(|s| s.stretch)
         .collect();
     stretches.sort_by(|a, b| a.partial_cmp(b).expect("finite stretches"));
-    for &(label, q) in &[("p10", 0.10), ("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("max", 1.0)] {
+    for &(label, q) in &[
+        ("p10", 0.10),
+        ("p50", 0.50),
+        ("p90", 0.90),
+        ("p99", 0.99),
+        ("max", 1.0),
+    ] {
         let idx = ((stretches.len() as f64 - 1.0) * q).round() as usize;
         table.push_row(vec![label.to_string(), fmt_f(stretches[idx])]);
     }
@@ -443,7 +506,12 @@ pub fn f2_rounds_series(scale: Scale) -> Table {
     let mut table = Table::new(
         "F2",
         "Rounds vs. reference curve c*log(n)*log*(n)",
-        &["n", "rounds", "reference log n*log* n", "implied constant c"],
+        &[
+            "n",
+            "rounds",
+            "reference log n*log* n",
+            "implied constant c",
+        ],
     );
     let eps = 1.0;
     let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = scale
@@ -452,7 +520,8 @@ pub fn f2_rounds_series(scale: Scale) -> Table {
         .map(|n| {
             Box::new(move || {
                 let ubg = Workload::udg(9000 + n as u64, n).build();
-                let params = SpannerParams::for_epsilon(eps, ubg.alpha()).expect("valid parameters");
+                let params =
+                    SpannerParams::for_epsilon(eps, ubg.alpha()).expect("valid parameters");
                 let out = DistributedRelaxedGreedy::new(params).run(&ubg);
                 let reference = out.log_n * out.log_star_n.max(1) as f64;
                 vec![
@@ -510,7 +579,7 @@ mod tests {
         let weight = e3_weight(Scale::Smoke);
         for row in &weight.rows {
             let ratio: f64 = row[3].parse().unwrap();
-            assert!(ratio >= 1.0 - 1e-9 && ratio < 40.0, "weight ratio {ratio}");
+            assert!((1.0 - 1e-9..40.0).contains(&ratio), "weight ratio {ratio}");
         }
     }
 

@@ -2,9 +2,10 @@
 //! few worker threads.
 //!
 //! The experiment tables are embarrassingly parallel across their rows;
-//! `crossbeam`'s scoped threads plus a `parking_lot` mutex around the
-//! result vector keep the harness simple while cutting wall-clock time on
-//! multi-core machines.
+//! `std::thread::scope` (stable since Rust 1.63) plus a `parking_lot`
+//! mutex around the result vector keep the harness simple while cutting
+//! wall-clock time on multi-core machines. A panicking job propagates out
+//! of the scope once all other workers have finished.
 
 use parking_lot::Mutex;
 
@@ -19,9 +20,9 @@ where
     let total = jobs.len();
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..total).map(|_| None).collect());
     let work: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(total.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let next = work.lock().pop();
                 match next {
                     Some((index, job)) => {
@@ -32,8 +33,7 @@ where
                 }
             });
         }
-    })
-    .expect("experiment worker thread panicked");
+    });
     slots
         .into_inner()
         .into_iter()
@@ -61,5 +61,13 @@ mod tests {
         let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> =
             vec![Box::new(|| 7u8) as Box<dyn FnOnce() -> u8 + Send>];
         assert_eq!(run_jobs(jobs, 0), vec![7]);
+    }
+
+    #[test]
+    fn saturating_thread_counts_work() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..3usize)
+            .map(|i| Box::new(move || i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(run_jobs(jobs, 64), vec![0, 1, 2]);
     }
 }

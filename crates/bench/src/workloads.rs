@@ -96,7 +96,9 @@ impl Workload {
                 generators::corridor_points(&mut rng, self.n, self.dim, side * side / 2.0, 1.5)
             }
         };
-        UbgBuilder::new(self.alpha).grey_zone(self.grey_zone).build(points)
+        UbgBuilder::new(self.alpha)
+            .grey_zone(self.grey_zone)
+            .build(points)
     }
 }
 
@@ -121,7 +123,11 @@ mod tests {
 
     #[test]
     fn deployments_and_dimensions_build() {
-        for deployment in [Deployment::Uniform, Deployment::Clustered, Deployment::Corridor] {
+        for deployment in [
+            Deployment::Uniform,
+            Deployment::Clustered,
+            Deployment::Corridor,
+        ] {
             let ubg = Workload::udg(3, 80).with_deployment(deployment).build();
             assert_eq!(ubg.len(), 80);
         }

@@ -194,8 +194,9 @@ pub fn run_ablation_on(
             }
             candidates += 1;
             if config.per_cluster_pair {
-                let objective =
-                    params.t * edge.weight - cover.dist_to_center(edge.u) - cover.dist_to_center(edge.v);
+                let objective = params.t * edge.weight
+                    - cover.dist_to_center(edge.u)
+                    - cover.dist_to_center(edge.v);
                 let key = if ca < cb { (ca, cb) } else { (cb, ca) };
                 match best.get(&key) {
                     Some((current, _)) if *current <= objective => {}

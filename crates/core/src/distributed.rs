@@ -47,21 +47,16 @@ use tc_ubg::UnitBallGraph;
 
 /// Which distributed MIS protocol stands in for the paper's
 /// Kuhn–Moscibroda–Wattenhofer black box.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum MisProtocol {
     /// Deterministic highest-rank-joins protocol (ranks = node ids).
+    #[default]
     Rank,
     /// Luby's randomised protocol with the given seed.
     Luby {
         /// Seed for the per-node random priorities.
         seed: u64,
     },
-}
-
-impl Default for MisProtocol {
-    fn default() -> Self {
-        MisProtocol::Rank
-    }
 }
 
 /// The outcome of a distributed construction: the spanner plus the full
@@ -179,8 +174,12 @@ impl DistributedRelaxedGreedy {
             for bin_index in bins.non_empty_bins() {
                 let bin_edges = bins.bin(bin_index);
                 if bin_index == 0 {
-                    let stats =
-                        self.process_short_edges_distributed(&mut spanner, bin_edges, &bins, &mut ledger);
+                    let stats = self.process_short_edges_distributed(
+                        &mut spanner,
+                        bin_edges,
+                        &bins,
+                        &mut ledger,
+                    );
                     phases.push(stats);
                 } else {
                     let stats = self.process_long_edges_distributed(
@@ -272,7 +271,8 @@ impl DistributedRelaxedGreedy {
         // Hop bounds the paper derives (Sections 2.2.4 and 3.2): nodes at
         // spanner distance D are at most 2D/α hops apart in G, because any
         // two nodes two hops apart on a shortest path are more than α apart.
-        let hops_for = |distance: f64| -> usize { ((2.0 * distance / alpha_w).ceil() as usize).max(1) };
+        let hops_for =
+            |distance: f64| -> usize { ((2.0 * distance / alpha_w).ceil() as usize).max(1) };
         let cover_gather_hops = hops_for(radius);
         let query_select_hops = 1 + cover_gather_hops;
         let cluster_graph_hops = hops_for((2.0 * self.params.delta + 1.0) * w_prev);

@@ -71,10 +71,16 @@ impl fmt::Display for ParamError {
                 write!(f, "stretch target t = {t} must be greater than 1")
             }
             ParamError::IntermediateStretchOutOfRange { t1, t } => {
-                write!(f, "intermediate stretch t1 = {t1} must lie strictly between 1 and t = {t}")
+                write!(
+                    f,
+                    "intermediate stretch t1 = {t1} must lie strictly between 1 and t = {t}"
+                )
             }
             ParamError::DeltaOutOfRange { delta, bound } => {
-                write!(f, "cluster radius fraction delta = {delta} must lie in (0, {bound})")
+                write!(
+                    f,
+                    "cluster radius fraction delta = {delta} must lie in (0, {bound})"
+                )
             }
             ParamError::BinGrowthOutOfRange { r, bound } => {
                 write!(f, "bin growth factor r = {r} must lie in (1, {bound})")
@@ -197,23 +203,35 @@ impl SpannerParams {
     /// Checks every constraint the proofs impose. `with_bin_growth`
     /// overrides are permitted (the bound on `r` is only checked upward
     /// against 1), everything else is strict.
+    // The negated comparisons are deliberate: a NaN parameter must fail
+    // validation, and `!(x > bound)` rejects NaN where `x <= bound` would not.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), ParamError> {
         if !(self.t > 1.0) {
             return Err(ParamError::StretchTooSmall { t: self.t });
         }
         if !(self.t1 > 1.0 && self.t1 < self.t) {
-            return Err(ParamError::IntermediateStretchOutOfRange { t1: self.t1, t: self.t });
+            return Err(ParamError::IntermediateStretchOutOfRange {
+                t1: self.t1,
+                t: self.t,
+            });
         }
         if !(self.alpha > 0.0 && self.alpha <= 1.0) {
             return Err(ParamError::AlphaOutOfRange { alpha: self.alpha });
         }
         let bound = Self::delta_bound(self.t, self.t1);
         if !(self.delta > 0.0 && self.delta <= bound) {
-            return Err(ParamError::DeltaOutOfRange { delta: self.delta, bound });
+            return Err(ParamError::DeltaOutOfRange {
+                delta: self.delta,
+                bound,
+            });
         }
         if !(self.r > 1.0) {
             let r_bound = (self.t_delta() + 1.0) / 2.0;
-            return Err(ParamError::BinGrowthOutOfRange { r: self.r, bound: r_bound });
+            return Err(ParamError::BinGrowthOutOfRange {
+                r: self.r,
+                bound: r_bound,
+            });
         }
         let cos_minus_sin = self.theta.cos() - self.theta.sin();
         if !(self.theta > 0.0
@@ -279,19 +297,34 @@ mod tests {
         let good = SpannerParams::for_epsilon(0.5, 0.75).unwrap();
         let mut bad = good;
         bad.t1 = good.t + 1.0;
-        assert!(matches!(bad.validate(), Err(ParamError::IntermediateStretchOutOfRange { .. })));
+        assert!(matches!(
+            bad.validate(),
+            Err(ParamError::IntermediateStretchOutOfRange { .. })
+        ));
         let mut bad = good;
         bad.delta = 0.5;
-        assert!(matches!(bad.validate(), Err(ParamError::DeltaOutOfRange { .. })));
+        assert!(matches!(
+            bad.validate(),
+            Err(ParamError::DeltaOutOfRange { .. })
+        ));
         let mut bad = good;
         bad.r = 0.5;
-        assert!(matches!(bad.validate(), Err(ParamError::BinGrowthOutOfRange { .. })));
+        assert!(matches!(
+            bad.validate(),
+            Err(ParamError::BinGrowthOutOfRange { .. })
+        ));
         let mut bad = good;
         bad.theta = 1.0;
-        assert!(matches!(bad.validate(), Err(ParamError::ThetaOutOfRange { .. })));
+        assert!(matches!(
+            bad.validate(),
+            Err(ParamError::ThetaOutOfRange { .. })
+        ));
         let mut bad = good;
         bad.alpha = 0.0;
-        assert!(matches!(bad.validate(), Err(ParamError::AlphaOutOfRange { .. })));
+        assert!(matches!(
+            bad.validate(),
+            Err(ParamError::AlphaOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -306,7 +339,9 @@ mod tests {
 
     #[test]
     fn with_bin_growth_allows_practical_overrides() {
-        let p = SpannerParams::for_epsilon(0.5, 0.75).unwrap().with_bin_growth(2.0);
+        let p = SpannerParams::for_epsilon(0.5, 0.75)
+            .unwrap()
+            .with_bin_growth(2.0);
         assert_eq!(p.r, 2.0);
         assert!(p.validate().is_ok());
         assert!(!p.weight_bound_applies());
@@ -315,7 +350,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "must exceed 1")]
     fn bin_growth_override_must_exceed_one() {
-        let _ = SpannerParams::for_epsilon(0.5, 0.75).unwrap().with_bin_growth(1.0);
+        let _ = SpannerParams::for_epsilon(0.5, 0.75)
+            .unwrap()
+            .with_bin_growth(1.0);
     }
 
     #[test]
@@ -323,7 +360,11 @@ mod tests {
         let msgs = [
             ParamError::StretchTooSmall { t: 1.0 }.to_string(),
             ParamError::IntermediateStretchOutOfRange { t1: 3.0, t: 2.0 }.to_string(),
-            ParamError::DeltaOutOfRange { delta: 0.5, bound: 0.1 }.to_string(),
+            ParamError::DeltaOutOfRange {
+                delta: 0.5,
+                bound: 0.1,
+            }
+            .to_string(),
             ParamError::BinGrowthOutOfRange { r: 0.9, bound: 1.1 }.to_string(),
             ParamError::ThetaOutOfRange { theta: 1.0 }.to_string(),
             ParamError::AlphaOutOfRange { alpha: 2.0 }.to_string(),

@@ -40,6 +40,12 @@ impl BinPartition {
             }
             partition.bins[idx].push(edge);
         }
+        // `graph.edges()` iterates a hash map, so bin contents arrive in a
+        // nondeterministic order; sort so every downstream consumer (greedy
+        // processing, ablation variants) sees a seed-stable sequence.
+        for bin in &mut partition.bins {
+            bin.sort();
+        }
         partition
     }
 
@@ -88,7 +94,9 @@ impl BinPartition {
     /// Indices of the non-empty bins, ascending. The algorithm only spends
     /// phases on these.
     pub fn non_empty_bins(&self) -> Vec<usize> {
-        (0..self.bins.len()).filter(|&i| !self.bins[i].is_empty()).collect()
+        (0..self.bins.len())
+            .filter(|&i| !self.bins[i].is_empty())
+            .collect()
     }
 
     /// Total number of edges across all bins.

@@ -65,10 +65,10 @@ pub fn build_cluster_graph(
         center_dist[idx] = Some(dijkstra::shortest_path_distances_bounded(spanner, a, reach));
     }
     let add_inter = |h: &mut WeightedGraph,
-                         stats: &mut ClusterGraphStats,
-                         ca: usize,
-                         cb: usize,
-                         weight: f64| {
+                     stats: &mut ClusterGraphStats,
+                     ca: usize,
+                     cb: usize,
+                     weight: f64| {
         let (a, b) = (centers[ca], centers[cb]);
         if a != b && !h.has_edge(a, b) {
             h.add_edge(a, b, weight);
@@ -77,8 +77,8 @@ pub fn build_cluster_graph(
     };
 
     // Condition (i): centres within distance W_{i-1} of each other.
-    for ca in 0..centers.len() {
-        let dist = center_dist[ca].as_ref().expect("computed above");
+    for (ca, dist) in center_dist.iter().enumerate() {
+        let dist = dist.as_ref().expect("computed above");
         for cb in (ca + 1)..centers.len() {
             if let Some(d) = dist[centers[cb]] {
                 if d <= w_prev {
@@ -98,9 +98,7 @@ pub fn build_cluster_graph(
         if h.has_edge(a, b) {
             continue;
         }
-        let d = center_dist[ca]
-            .as_ref()
-            .expect("computed above")[b]
+        let d = center_dist[ca].as_ref().expect("computed above")[b]
             // Lemma 5 guarantees the distance is within the bounded reach;
             // fall back to the triangle-inequality upper bound if a
             // floating-point boundary put it just outside.
@@ -145,9 +143,7 @@ mod tests {
             let c = cover.center_of(v);
             if c != v {
                 assert!(h.has_edge(c, v), "missing intra edge {c}-{v}");
-                assert!(
-                    (h.edge_weight(c, v).unwrap() - cover.dist_to_center(v)).abs() < 1e-12
-                );
+                assert!((h.edge_weight(c, v).unwrap() - cover.dist_to_center(v)).abs() < 1e-12);
             }
         }
     }

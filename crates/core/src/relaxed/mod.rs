@@ -326,7 +326,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let points = generators::uniform_points(&mut rng, 70, 2, 2.5);
         let ubg = UbgBuilder::new(0.6)
-            .grey_zone(GreyZonePolicy::Probabilistic { probability: 0.5, seed: 3 })
+            .grey_zone(GreyZonePolicy::Probabilistic {
+                probability: 0.5,
+                seed: 3,
+            })
             .build(points);
         let params = SpannerParams::for_epsilon(1.0, 0.6).unwrap();
         let result = RelaxedGreedy::new(params).run(&ubg);
@@ -424,7 +427,9 @@ mod tests {
         let ubg = uniform_ubg(4, 60, 2, 2.0, 1.0);
         let params = SpannerParams::for_epsilon(1.0, 1.0).unwrap();
         let weighting = EdgeWeighting::Power { c: 1.0, gamma: 2.0 };
-        let result = RelaxedGreedy::new(params).with_weighting(weighting).run(&ubg);
+        let result = RelaxedGreedy::new(params)
+            .with_weighting(weighting)
+            .run(&ubg);
         // Verify the stretch in the *energy* metric.
         let energy_base = weighting.weighted_graph(&ubg);
         let stretch = stretch_factor(&energy_base, &result.spanner);

@@ -132,7 +132,13 @@ mod tests {
         let mut spanner = WeightedGraph::new(3);
         spanner.add_edge(0, 2, 0.2);
         let edge = Edge::new(0, 1, 0.9);
-        assert!(is_covered(&points, &params(), EdgeWeighting::Euclidean, &spanner, &edge));
+        assert!(is_covered(
+            &points,
+            &params(),
+            EdgeWeighting::Euclidean,
+            &spanner,
+            &edge
+        ));
     }
 
     #[test]
@@ -145,7 +151,13 @@ mod tests {
         let mut spanner = WeightedGraph::new(3);
         spanner.add_edge(0, 2, 0.2);
         let edge = Edge::new(0, 1, 0.9);
-        assert!(!is_covered(&points, &params(), EdgeWeighting::Euclidean, &spanner, &edge));
+        assert!(!is_covered(
+            &points,
+            &params(),
+            EdgeWeighting::Euclidean,
+            &spanner,
+            &edge
+        ));
     }
 
     #[test]
@@ -162,7 +174,13 @@ mod tests {
         let mut spanner = WeightedGraph::new(3);
         spanner.add_edge(0, 2, 0.25);
         let edge = Edge::new(0, 1, 0.9);
-        assert!(!is_covered(&points, &p, EdgeWeighting::Euclidean, &spanner, &edge));
+        assert!(!is_covered(
+            &points,
+            &p,
+            EdgeWeighting::Euclidean,
+            &spanner,
+            &edge
+        ));
     }
 
     #[test]
@@ -176,7 +194,13 @@ mod tests {
         let mut spanner = WeightedGraph::new(3);
         spanner.add_edge(0, 2, 0.5);
         let edge = Edge::new(0, 1, 0.4);
-        assert!(!is_covered(&points, &params(), EdgeWeighting::Euclidean, &spanner, &edge));
+        assert!(!is_covered(
+            &points,
+            &params(),
+            EdgeWeighting::Euclidean,
+            &spanner,
+            &edge
+        ));
     }
 
     #[test]
@@ -190,7 +214,13 @@ mod tests {
         let mut spanner = WeightedGraph::new(3);
         spanner.add_edge(1, 2, 0.2);
         let edge = Edge::new(0, 1, 0.9);
-        assert!(is_covered(&points, &params(), EdgeWeighting::Euclidean, &spanner, &edge));
+        assert!(is_covered(
+            &points,
+            &params(),
+            EdgeWeighting::Euclidean,
+            &spanner,
+            &edge
+        ));
     }
 
     #[test]
@@ -217,7 +247,14 @@ mod tests {
             Edge::new(0, 3, (1.0f64 + 0.01).sqrt()),
         ];
         let p = params();
-        let sel = select_query_edges(&points, &p, EdgeWeighting::Euclidean, &spanner, &cover, &bin_edges);
+        let sel = select_query_edges(
+            &points,
+            &p,
+            EdgeWeighting::Euclidean,
+            &spanner,
+            &cover,
+            &bin_edges,
+        );
         assert_eq!(sel.query_edges.len(), 1);
         assert_eq!(sel.candidates, 3);
         assert_eq!(sel.covered, 0);

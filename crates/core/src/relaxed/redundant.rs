@@ -60,10 +60,7 @@ pub fn analyze_redundancy(added: &[Edge], h: &WeightedGraph, t1: f64) -> Redunda
         .map(|&x| (x, dijkstra::shortest_path_distances_bounded(h, x, budget)))
         .collect();
     let sp = |x: NodeId, y: NodeId| -> f64 {
-        dist_of
-            .get(&x)
-            .and_then(|d| d[y])
-            .unwrap_or(f64::INFINITY)
+        dist_of.get(&x).and_then(|d| d[y]).unwrap_or(f64::INFINITY)
     };
 
     let mut involved = vec![false; added.len()];
@@ -205,7 +202,10 @@ mod tests {
             Edge::new(4, 5, 1.0),
         ];
         let removals = sequential_redundant_removals(&added, &h, 1.5);
-        assert!(removals.len() < added.len(), "at least one edge must survive");
+        assert!(
+            removals.len() < added.len(),
+            "at least one edge must survive"
+        );
         assert!(!removals.is_empty(), "some redundancy must be eliminated");
     }
 

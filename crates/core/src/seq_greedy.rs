@@ -67,7 +67,8 @@ mod tests {
         let mut g = WeightedGraph::new(points.len());
         for i in 0..points.len() {
             for j in (i + 1)..points.len() {
-                let d = ((points[i].0 - points[j].0).powi(2) + (points[i].1 - points[j].1).powi(2)).sqrt();
+                let d = ((points[i].0 - points[j].0).powi(2) + (points[i].1 - points[j].1).powi(2))
+                    .sqrt();
                 g.add_edge(i, j, d);
             }
         }
@@ -115,7 +116,10 @@ mod tests {
         let spanner = seq_greedy(&g, 1.0);
         assert!(spanner.has_edge(0, 1));
         assert!(spanner.has_edge(1, 2));
-        assert!(spanner.has_edge(0, 2), "1.5 < 2.0 so the direct edge is required");
+        assert!(
+            spanner.has_edge(0, 2),
+            "1.5 < 2.0 so the direct edge is required"
+        );
     }
 
     #[test]

@@ -120,7 +120,11 @@ mod tests {
     use tc_geometry::Point;
     use tc_ubg::{generators, UbgBuilder};
 
-    fn sample_instance() -> (tc_ubg::UnitBallGraph, crate::relaxed::SpannerResult, SpannerParams) {
+    fn sample_instance() -> (
+        tc_ubg::UnitBallGraph,
+        crate::relaxed::SpannerResult,
+        SpannerParams,
+    ) {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let points = generators::uniform_points(&mut rng, 70, 2, 2.5);
         let ubg = UbgBuilder::unit_disk().build(points);

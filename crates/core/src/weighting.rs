@@ -14,9 +14,10 @@ use tc_graph::WeightedGraph;
 use tc_ubg::UnitBallGraph;
 
 /// Which weight function the spanner is built and measured under.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum EdgeWeighting {
     /// Euclidean length `|uv|` (the paper's default).
+    #[default]
     Euclidean,
     /// The energy metric `c·|uv|^γ` (Section 1.6, extension 2).
     Power {
@@ -25,12 +26,6 @@ pub enum EdgeWeighting {
         /// Path-loss exponent `γ ≥ 1`.
         gamma: f64,
     },
-}
-
-impl Default for EdgeWeighting {
-    fn default() -> Self {
-        EdgeWeighting::Euclidean
-    }
 }
 
 impl EdgeWeighting {
@@ -97,7 +92,11 @@ mod tests {
 
     #[test]
     fn weighted_graph_keeps_edges_and_changes_weights() {
-        let points = vec![Point::new2(0.0, 0.0), Point::new2(0.5, 0.0), Point::new2(0.9, 0.0)];
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.5, 0.0),
+            Point::new2(0.9, 0.0),
+        ];
         let ubg = UbgBuilder::unit_disk().build(points);
         let euclid = EdgeWeighting::Euclidean.weighted_graph(&ubg);
         let power = EdgeWeighting::Power { c: 1.0, gamma: 2.0 }.weighted_graph(&ubg);

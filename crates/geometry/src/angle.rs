@@ -16,7 +16,11 @@ use crate::Point;
 /// the third point coincides with the apex and the edge is trivially
 /// covered.
 pub fn angle_between(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "angle between vectors of different dimensions");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "angle between vectors of different dimensions"
+    );
     let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
     let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
     let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();

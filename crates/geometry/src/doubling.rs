@@ -165,7 +165,10 @@ mod tests {
         let line: Vec<Point> = (0..64).map(|i| Point::new2(i as f64, 0.0)).collect();
         let m_line = PointMetric(line);
         let dim_line = doubling_dimension_estimate(&m_line, 5);
-        assert!(dim_line <= 3.0, "line doubling dimension {dim_line} too large");
+        assert!(
+            dim_line <= 3.0,
+            "line doubling dimension {dim_line} too large"
+        );
     }
 
     #[test]

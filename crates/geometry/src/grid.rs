@@ -51,13 +51,23 @@ impl GridIndex {
         let mut cells: HashMap<CellCoord, Vec<usize>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.dim(), dim, "all points must share a dimension");
-            cells.entry(Self::cell_of_point(p, cell_size)).or_default().push(i);
+            cells
+                .entry(Self::cell_of_point(p, cell_size))
+                .or_default()
+                .push(i);
         }
-        Self { cell_size, dim, cells }
+        Self {
+            cell_size,
+            dim,
+            cells,
+        }
     }
 
     fn cell_of_point(p: &Point, cell_size: f64) -> CellCoord {
-        p.coords().iter().map(|c| (c / cell_size).floor() as i64).collect()
+        p.coords()
+            .iter()
+            .map(|c| (c / cell_size).floor() as i64)
+            .collect()
     }
 
     /// Cell coordinates of the given point.
@@ -111,7 +121,11 @@ impl GridIndex {
         let base = self.cell_of(p);
         let mut offsets = vec![-reach; self.dim];
         loop {
-            let cell: CellCoord = base.iter().zip(offsets.iter()).map(|(b, o)| b + o).collect();
+            let cell: CellCoord = base
+                .iter()
+                .zip(offsets.iter())
+                .map(|(b, o)| b + o)
+                .collect();
             if let Some(members) = self.cells.get(&cell) {
                 for &j in members {
                     visit(j);
@@ -211,7 +225,11 @@ mod tests {
 
     #[test]
     fn occupied_cells_and_cell_size_reported() {
-        let points = vec![Point::new2(0.1, 0.1), Point::new2(0.2, 0.2), Point::new2(3.0, 3.0)];
+        let points = vec![
+            Point::new2(0.1, 0.1),
+            Point::new2(0.2, 0.2),
+            Point::new2(3.0, 3.0),
+        ];
         let grid = GridIndex::build(&points, 1.0);
         assert_eq!(grid.occupied_cells(), 2);
         assert_eq!(grid.cell_size(), 1.0);

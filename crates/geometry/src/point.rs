@@ -54,7 +54,10 @@ impl Point {
     /// meaningful for the α-UBG model (`d ≥ 2` in the paper; `d = 1` is
     /// allowed here because it is useful in tests).
     pub fn new(coords: Vec<f64>) -> Self {
-        assert!(!coords.is_empty(), "a point must have at least one coordinate");
+        assert!(
+            !coords.is_empty(),
+            "a point must have at least one coordinate"
+        );
         Self { coords }
     }
 
@@ -140,7 +143,11 @@ impl Point {
 
     /// The vector `other - self`, as a coordinate vector.
     pub fn vector_to(&self, other: &Point) -> Vec<f64> {
-        assert_eq!(self.dim(), other.dim(), "vector between mismatched dimensions");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "vector between mismatched dimensions"
+        );
         self.coords
             .iter()
             .zip(other.coords.iter())
@@ -162,7 +169,11 @@ impl Point {
 
     /// Linear interpolation: `self + s·(other - self)`.
     pub fn lerp(&self, other: &Point, s: f64) -> Point {
-        assert_eq!(self.dim(), other.dim(), "lerp between mismatched dimensions");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "lerp between mismatched dimensions"
+        );
         Point::new(
             self.coords
                 .iter()
@@ -174,7 +185,11 @@ impl Point {
 
     /// Translates the point by the given displacement vector.
     pub fn translated(&self, delta: &[f64]) -> Point {
-        assert_eq!(self.dim(), delta.len(), "translation of mismatched dimension");
+        assert_eq!(
+            self.dim(),
+            delta.len(),
+            "translation of mismatched dimension"
+        );
         Point::new(
             self.coords
                 .iter()

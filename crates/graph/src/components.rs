@@ -17,13 +17,13 @@ pub fn component_labels(graph: &WeightedGraph) -> Vec<usize> {
     let mut label_of_root = vec![usize::MAX; n];
     let mut labels = vec![0usize; n];
     let mut next = 0;
-    for v in 0..n {
+    for (v, label) in labels.iter_mut().enumerate() {
         let root = uf.find(v);
         if label_of_root[root] == usize::MAX {
             label_of_root[root] = next;
             next += 1;
         }
-        labels[v] = label_of_root[root];
+        *label = label_of_root[root];
     }
     labels
 }
@@ -54,9 +54,9 @@ pub fn is_connected(graph: &WeightedGraph) -> bool {
 /// property Lemma 1 asserts for `G_0`.
 pub fn components_are_cliques(graph: &WeightedGraph) -> bool {
     connected_components(graph).iter().all(|comp| {
-        comp.iter().enumerate().all(|(i, &u)| {
-            comp[i + 1..].iter().all(|&v| graph.has_edge(u, v))
-        })
+        comp.iter()
+            .enumerate()
+            .all(|(i, &u)| comp[i + 1..].iter().all(|&v| graph.has_edge(u, v)))
     })
 }
 

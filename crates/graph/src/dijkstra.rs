@@ -66,7 +66,10 @@ pub fn shortest_path_distances_bounded(
     let mut dist: Vec<Option<f64>> = vec![None; graph.node_count()];
     let mut heap = BinaryHeap::new();
     dist[source] = Some(0.0);
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if let Some(best) = dist[u] {
             if d > best {
@@ -78,7 +81,7 @@ pub fn shortest_path_distances_bounded(
             if nd > radius {
                 continue;
             }
-            if dist[v].map_or(true, |cur| nd < cur) {
+            if dist[v].is_none_or(|cur| nd < cur) {
                 dist[v] = Some(nd);
                 heap.push(HeapEntry { dist: nd, node: v });
             }
@@ -110,7 +113,10 @@ pub fn shortest_path_within(
     let mut dist: Vec<Option<f64>> = vec![None; graph.node_count()];
     let mut heap = BinaryHeap::new();
     dist[source] = Some(0.0);
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if u == target {
             return Some(d);
@@ -125,7 +131,7 @@ pub fn shortest_path_within(
             if nd > budget {
                 continue;
             }
-            if dist[v].map_or(true, |cur| nd < cur) {
+            if dist[v].is_none_or(|cur| nd < cur) {
                 dist[v] = Some(nd);
                 heap.push(HeapEntry { dist: nd, node: v });
             }
@@ -178,7 +184,10 @@ pub fn shortest_path_tree(graph: &WeightedGraph, source: NodeId) -> ShortestPath
     let mut prev: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[source] = Some(0.0);
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if let Some(best) = dist[u] {
             if d > best {
@@ -187,7 +196,7 @@ pub fn shortest_path_tree(graph: &WeightedGraph, source: NodeId) -> ShortestPath
         }
         for &(v, w) in graph.neighbors(u) {
             let nd = d + w;
-            if dist[v].map_or(true, |cur| nd < cur) {
+            if dist[v].is_none_or(|cur| nd < cur) {
                 dist[v] = Some(nd);
                 prev[v] = Some(u);
                 heap.push(HeapEntry { dist: nd, node: v });
@@ -230,7 +239,10 @@ mod tests {
     fn distances_on_a_path() {
         let g = path_graph(5);
         let d = shortest_path_distances(&g, 0);
-        assert_eq!(d, vec![Some(0.0), Some(1.0), Some(2.0), Some(3.0), Some(4.0)]);
+        assert_eq!(
+            d,
+            vec![Some(0.0), Some(1.0), Some(2.0), Some(3.0), Some(4.0)]
+        );
     }
 
     #[test]
@@ -339,7 +351,7 @@ mod tests {
                 for (a, b) in [(e.u, e.v), (e.v, e.u)] {
                     if let Some(da) = dist[a] {
                         let nd = da + e.weight;
-                        if dist[b].map_or(true, |db| nd < db - 1e-15) {
+                        if dist[b].is_none_or(|db| nd < db - 1e-15) {
                             dist[b] = Some(nd);
                             changed = true;
                         }

@@ -27,7 +27,10 @@ impl Edge {
     /// the weight is negative or NaN.
     pub fn new(u: NodeId, v: NodeId, weight: f64) -> Self {
         assert_ne!(u, v, "self-loops are not allowed");
-        assert!(weight >= 0.0 && weight.is_finite(), "edge weight must be finite and non-negative");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "edge weight must be finite and non-negative"
+        );
         let (u, v) = if u <= v { (u, v) } else { (v, u) };
         Self { u, v, weight }
     }
@@ -48,7 +51,10 @@ impl Edge {
         } else if node == self.v {
             self.u
         } else {
-            panic!("node {node} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "node {node} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 
@@ -133,7 +139,7 @@ mod tests {
 
     #[test]
     fn ordering_is_by_weight_then_endpoints() {
-        let mut edges = vec![
+        let mut edges = [
             Edge::new(3, 4, 2.0),
             Edge::new(0, 1, 1.0),
             Edge::new(1, 2, 1.0),

@@ -28,7 +28,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, nodes } => {
-                write!(f, "node {node} is out of range for a graph with {nodes} nodes")
+                write!(
+                    f,
+                    "node {node} is out of range for a graph with {nodes} nodes"
+                )
             }
             GraphError::MissingEdge { u, v } => write!(f, "edge ({u}, {v}) does not exist"),
         }

@@ -17,7 +17,11 @@ use crate::{NodeId, WeightedGraph};
 ///
 /// Returns the chosen nodes in ascending order.
 pub fn greedy_mis_with_order(graph: &WeightedGraph, order: &[NodeId]) -> Vec<NodeId> {
-    assert_eq!(order.len(), graph.node_count(), "order must list every node exactly once");
+    assert_eq!(
+        order.len(),
+        graph.node_count(),
+        "order must list every node exactly once"
+    );
     let mut state = vec![0u8; graph.node_count()]; // 0 = undecided, 1 = in MIS, 2 = blocked
     for &u in order {
         if state[u] != 0 {

@@ -83,7 +83,11 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
         in_tree[start] = true;
         let mut heap = BinaryHeap::new();
         for &(v, w) in graph.neighbors(start) {
-            heap.push(PrimEntry { weight: w, from: start, to: v });
+            heap.push(PrimEntry {
+                weight: w,
+                from: start,
+                to: v,
+            });
         }
         while let Some(PrimEntry { weight, from, to }) = heap.pop() {
             if in_tree[to] {
@@ -94,7 +98,11 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
             total += weight;
             for &(v, w) in graph.neighbors(to) {
                 if !in_tree[v] {
-                    heap.push(PrimEntry { weight: w, from: to, to: v });
+                    heap.push(PrimEntry {
+                        weight: w,
+                        from: to,
+                        to: v,
+                    });
                 }
             }
         }

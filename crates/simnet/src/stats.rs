@@ -79,7 +79,9 @@ impl RoundLedger {
 
     /// Iterates over the individual charges in the order they were made.
     pub fn entries(&self) -> impl Iterator<Item = (&str, &CommStats)> {
-        self.entries.iter().map(|(label, stats)| (label.as_str(), stats))
+        self.entries
+            .iter()
+            .map(|(label, stats)| (label.as_str(), stats))
     }
 
     /// Sums the rounds of all charges whose label starts with `prefix`.

@@ -147,7 +147,11 @@ mod tests {
     fn unit_disk_builder_has_no_grey_zone() {
         let b = UbgBuilder::unit_disk();
         assert_eq!(b.alpha(), 1.0);
-        let points = vec![Point::new2(0.0, 0.0), Point::new2(0.99, 0.0), Point::new2(2.0, 0.0)];
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.99, 0.0),
+            Point::new2(2.0, 0.0),
+        ];
         let ubg = b.build(points);
         assert!(ubg.graph().has_edge(0, 1));
         assert!(!ubg.graph().has_edge(1, 2));
@@ -156,7 +160,9 @@ mod tests {
     #[test]
     fn never_policy_gives_alpha_ball_graph() {
         let points = random_points(5, 60, 2, 3.0);
-        let ubg = UbgBuilder::new(0.6).grey_zone(GreyZonePolicy::Never).build(points);
+        let ubg = UbgBuilder::new(0.6)
+            .grey_zone(GreyZonePolicy::Never)
+            .build(points);
         for e in ubg.graph().edges() {
             assert!(e.weight <= 0.6 + 1e-12);
         }
@@ -172,7 +178,10 @@ mod tests {
             .graph()
             .edge_count();
         let half = UbgBuilder::new(0.5)
-            .grey_zone(GreyZonePolicy::Probabilistic { probability: 0.5, seed: 3 })
+            .grey_zone(GreyZonePolicy::Probabilistic {
+                probability: 0.5,
+                seed: 3,
+            })
             .build(points.clone())
             .graph()
             .edge_count();
@@ -182,7 +191,10 @@ mod tests {
             .graph()
             .edge_count();
         assert!(never <= half && half <= always);
-        assert!(never < always, "test instance should have a non-empty grey zone");
+        assert!(
+            never < always,
+            "test instance should have a non-empty grey zone"
+        );
     }
 
     #[test]

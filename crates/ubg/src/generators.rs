@@ -94,7 +94,10 @@ pub fn corridor_points<R: Rng + ?Sized>(
     width: f64,
 ) -> Vec<Point> {
     assert!(dim >= 1, "dimension must be at least 1");
-    assert!(length >= 0.0 && width >= 0.0, "corridor dimensions must be non-negative");
+    assert!(
+        length >= 0.0 && width >= 0.0,
+        "corridor dimensions must be non-negative"
+    );
     (0..n)
         .map(|_| {
             let mut coords = vec![rng.gen_range(0.0..=length)];
@@ -184,7 +187,9 @@ mod tests {
         let pts3 = grid_jitter_points(&mut rng, 3, 3, 1.0, 0.0);
         assert_eq!(pts3.len(), 27);
         // With zero jitter, points are exactly on the lattice.
-        assert!(pts3.iter().any(|p| p == &tc_geometry::Point::new3(2.0, 2.0, 2.0)));
+        assert!(pts3
+            .iter()
+            .any(|p| p == &tc_geometry::Point::new3(2.0, 2.0, 2.0)));
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl UnitBallGraph {
             graph.node_count(),
             "graph vertex count must match the number of points"
         );
-        Self { points, alpha, graph }
+        Self {
+            points,
+            alpha,
+            graph,
+        }
     }
 
     /// Number of nodes.
@@ -81,7 +85,11 @@ impl UnitBallGraph {
     pub fn reweighted<M: Metric>(&self, metric: &M) -> WeightedGraph {
         let mut g = WeightedGraph::new(self.len());
         for e in self.graph.edges() {
-            g.add_edge(e.u, e.v, metric.distance(&self.points[e.u], &self.points[e.v]));
+            g.add_edge(
+                e.u,
+                e.v,
+                metric.distance(&self.points[e.u], &self.points[e.v]),
+            );
         }
         g
     }

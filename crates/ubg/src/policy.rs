@@ -9,10 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 /// How pairs of nodes in the grey zone `(α, 1]` are connected.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum GreyZonePolicy {
     /// Every grey-zone pair becomes an edge. With this policy the α-UBG is
     /// exactly the unit ball graph of radius 1 (and a UDG when `d = 2`).
+    #[default]
     Always,
     /// No grey-zone pair becomes an edge: the graph is the unit ball graph
     /// of radius `α`. This is the sparsest realisation the model allows.
@@ -53,17 +54,16 @@ pub enum GreyZonePolicy {
     },
 }
 
-impl Default for GreyZonePolicy {
-    fn default() -> Self {
-        GreyZonePolicy::Always
-    }
-}
-
 /// A small, fast, deterministic hash of an unordered pair and a seed,
 /// mapped to `[0, 1)`. Splitmix64-style mixing.
 fn pair_hash_unit(seed: u64, i: usize, j: usize) -> f64 {
-    let (a, b) = if i <= j { (i as u64, j as u64) } else { (j as u64, i as u64) };
-    let mut x = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let (a, b) = if i <= j {
+        (i as u64, j as u64)
+    } else {
+        (j as u64, i as u64)
+    };
+    let mut x =
+        seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
@@ -102,7 +102,14 @@ impl GreyZonePolicy {
                 half_width,
                 gap_y,
                 gap_half_height,
-            } => !segment_blocked(coords_i, coords_j, wall_x, half_width, gap_y, gap_half_height),
+            } => !segment_blocked(
+                coords_i,
+                coords_j,
+                wall_x,
+                half_width,
+                gap_y,
+                gap_half_height,
+            ),
         }
     }
 }
@@ -151,7 +158,10 @@ mod tests {
 
     #[test]
     fn probabilistic_is_deterministic_and_symmetric() {
-        let p = GreyZonePolicy::Probabilistic { probability: 0.5, seed: 42 };
+        let p = GreyZonePolicy::Probabilistic {
+            probability: 0.5,
+            seed: 42,
+        };
         let a = p.connects(3, 9, 0.8, 0.5, &[0.0, 0.0], &[0.8, 0.0]);
         let b = p.connects(9, 3, 0.8, 0.5, &[0.8, 0.0], &[0.0, 0.0]);
         assert_eq!(a, b);
@@ -161,8 +171,14 @@ mod tests {
 
     #[test]
     fn probabilistic_extremes() {
-        let yes = GreyZonePolicy::Probabilistic { probability: 1.0, seed: 1 };
-        let no = GreyZonePolicy::Probabilistic { probability: 0.0, seed: 1 };
+        let yes = GreyZonePolicy::Probabilistic {
+            probability: 1.0,
+            seed: 1,
+        };
+        let no = GreyZonePolicy::Probabilistic {
+            probability: 0.0,
+            seed: 1,
+        };
         for (i, j) in [(0, 1), (5, 17), (100, 3)] {
             assert!(yes.connects(i, j, 0.9, 0.5, &[0.0], &[0.9]));
             assert!(!no.connects(i, j, 0.9, 0.5, &[0.0], &[0.9]));
@@ -171,7 +187,10 @@ mod tests {
 
     #[test]
     fn probabilistic_hits_roughly_the_requested_rate() {
-        let p = GreyZonePolicy::Probabilistic { probability: 0.3, seed: 7 };
+        let p = GreyZonePolicy::Probabilistic {
+            probability: 0.3,
+            seed: 7,
+        };
         let total = 2000;
         let hits = (0..total)
             .filter(|&i| p.connects(i, i + 1, 0.9, 0.5, &[0.0], &[0.9]))

@@ -26,7 +26,10 @@ fn main() {
     let mut rows: Vec<(String, tc_graph::WeightedGraph)> = Vec::new();
     let ours = build_spanner(&network, 0.5).expect("valid parameters");
     rows.push(("relaxed-greedy (eps=0.5)".into(), ours.spanner));
-    rows.push(("seq-greedy (t=1.5)".into(), seq_greedy(network.graph(), 1.5)));
+    rows.push((
+        "seq-greedy (t=1.5)".into(),
+        seq_greedy(network.graph(), 1.5),
+    ));
     for baseline in Baseline::all() {
         rows.push((baseline.name(), baseline.build(&network)));
     }

@@ -24,7 +24,10 @@ fn build(seed: u64, n: usize) -> tc_ubg::UnitBallGraph {
 
 fn main() {
     let params = SpannerParams::for_epsilon(1.0, 1.0).expect("valid parameters");
-    println!("{:>6} {:>8} {:>12} {:>10} {:>12}", "n", "rounds", "logn*log*n", "ratio", "messages");
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>12}",
+        "n", "rounds", "logn*log*n", "ratio", "messages"
+    );
     for &n in &[50usize, 100, 200, 400] {
         let ubg = build(100 + n as u64, n);
         let out = DistributedRelaxedGreedy::new(params)
@@ -50,8 +53,16 @@ fn main() {
         let step = label.split('/').skip(1).collect::<Vec<_>>().join("/");
         *by_step.entry(step).or_insert(0) += stats.rounds;
     }
-    println!("\nper-step round breakdown for n = 200 ({} rounds total):", out.rounds);
+    println!(
+        "\nper-step round breakdown for n = 200 ({} rounds total):",
+        out.rounds
+    );
     for (step, rounds) in by_step {
-        println!("  {:30} {:>6} rounds ({:>5.1}%)", step, rounds, 100.0 * rounds as f64 / total);
+        println!(
+            "  {:30} {:>6} rounds ({:>5.1}%)",
+            step,
+            rounds,
+            100.0 * rounds as f64 / total
+        );
     }
 }

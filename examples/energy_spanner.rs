@@ -25,7 +25,11 @@ fn main() {
     let side = generators::side_for_target_degree(n, 2, 12.0);
     let points = generators::uniform_points(&mut rng, n, 2, side);
     let network = UbgBuilder::unit_disk().build(points);
-    println!("network: {} nodes, {} links", network.len(), network.graph().edge_count());
+    println!(
+        "network: {} nodes, {} links",
+        network.len(),
+        network.graph().edge_count()
+    );
 
     println!("\n== energy spanners (epsilon = 0.5) ==");
     for gamma in [2.0, 3.0, 4.0] {

@@ -40,9 +40,19 @@ fn main() {
     // 3. Verify stretch, degree and weight.
     let report = verify_spanner(network.graph(), &result.spanner, result.params.t);
     let summary = spanner_report(network.graph(), &result.spanner);
-    println!("stretch      : {:.4} (target {:.2}) -> ok = {}", report.stretch, report.t, report.stretch_ok);
-    println!("max degree   : {} (input had {})", report.max_degree, network.graph().max_degree());
+    println!(
+        "stretch      : {:.4} (target {:.2}) -> ok = {}",
+        report.stretch, report.t, report.stretch_ok
+    );
+    println!(
+        "max degree   : {} (input had {})",
+        report.max_degree,
+        network.graph().max_degree()
+    );
     println!("weight ratio : {:.3} x w(MST)", report.weight_ratio);
     println!("mean degree  : {:.2}", summary.mean_degree);
-    assert!(report.stretch_ok, "the spanner must meet its stretch target");
+    assert!(
+        report.stretch_ok,
+        "the spanner must meet its stretch target"
+    );
 }

@@ -1,0 +1,74 @@
+//! Determinism guarantees: rebuilding from the same RNG seed must
+//! reproduce the exact same network and the exact same spanner, edge for
+//! edge and byte for byte. Future parallelism or caching work inside the
+//! construction must not silently introduce iteration-order dependence.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topology_control::prelude::*;
+
+fn deploy(seed: u64, n: usize, alpha: f64) -> UnitBallGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let side = generators::side_for_target_degree(n, 2, 10.0);
+    let points = generators::uniform_points(&mut rng, n, 2, side);
+    UbgBuilder::new(alpha)
+        .grey_zone(GreyZonePolicy::Probabilistic {
+            probability: 0.5,
+            seed,
+        })
+        .build(points)
+}
+
+/// Serializes an edge set into a canonical byte string.
+fn edge_bytes(graph: &WeightedGraph) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for edge in graph.sorted_edges() {
+        bytes.extend_from_slice(&edge.u.to_le_bytes());
+        bytes.extend_from_slice(&edge.v.to_le_bytes());
+        bytes.extend_from_slice(&edge.weight.to_le_bytes());
+    }
+    bytes
+}
+
+#[test]
+fn same_seed_gives_byte_identical_networks() {
+    for seed in [0, 1, 17] {
+        let a = deploy(seed, 120, 0.8);
+        let b = deploy(seed, 120, 0.8);
+        assert_eq!(edge_bytes(a.graph()), edge_bytes(b.graph()));
+    }
+}
+
+#[test]
+fn same_seed_gives_byte_identical_spanners() {
+    for (seed, eps) in [(3u64, 0.5), (4, 1.0), (5, 2.0)] {
+        let first = build_spanner(&deploy(seed, 150, 0.9), eps).unwrap();
+        let second = build_spanner(&deploy(seed, 150, 0.9), eps).unwrap();
+        assert_eq!(
+            edge_bytes(&first.spanner),
+            edge_bytes(&second.spanner),
+            "seed {seed} eps {eps}: spanner edge sets diverged"
+        );
+    }
+}
+
+#[test]
+fn same_seed_gives_byte_identical_distributed_spanners() {
+    let seed = 11;
+    let first = build_spanner_distributed(&deploy(seed, 100, 0.8), 1.0).unwrap();
+    let second = build_spanner_distributed(&deploy(seed, 100, 0.8), 1.0).unwrap();
+    assert_eq!(
+        edge_bytes(&first.result.spanner),
+        edge_bytes(&second.result.spanner),
+        "distributed construction is not deterministic for a fixed seed"
+    );
+    assert_eq!(first.rounds, second.rounds);
+}
+
+#[test]
+fn different_seeds_give_different_networks() {
+    // Guards against the RNG stub degenerating into a constant stream.
+    let a = deploy(1, 120, 0.8);
+    let b = deploy(2, 120, 0.8);
+    assert_ne!(edge_bytes(a.graph()), edge_bytes(b.graph()));
+}

@@ -33,7 +33,11 @@ fn sequential_pipeline_meets_all_three_guarantees() {
     // Degree and weight are O(1)/O(MST) asymptotically; on this workload
     // the constants are small.
     assert!(report.max_degree <= 16, "max degree {}", report.max_degree);
-    assert!(report.weight_ratio < 12.0, "weight ratio {}", report.weight_ratio);
+    assert!(
+        report.weight_ratio < 12.0,
+        "weight ratio {}",
+        report.weight_ratio
+    );
     // Linear size.
     assert!(result.spanner.edge_count() <= 8 * network.len());
 }
@@ -110,7 +114,11 @@ fn fault_tolerant_extension_survives_edge_faults() {
         FaultKind::Edge,
         25,
     );
-    assert_eq!(report.violations, 0, "worst stretch {}", report.worst_stretch);
+    assert_eq!(
+        report.violations, 0,
+        "worst stretch {}",
+        report.worst_stretch
+    );
 }
 
 #[test]
@@ -124,7 +132,11 @@ fn baselines_run_on_the_same_instance_and_ours_has_the_best_stretch_guarantee() 
         let report = spanner_report(network.graph(), &graph);
         // Baselines stay subgraphs of the radio graph and are sparse, but
         // none of them is required to meet the 1.5 stretch bound.
-        assert!(network.graph().contains_subgraph(&graph), "{}", baseline.name());
+        assert!(
+            network.graph().contains_subgraph(&graph),
+            "{}",
+            baseline.name()
+        );
         assert!(report.spanner_edges <= ours_report.base_edges);
     }
 }

@@ -23,7 +23,9 @@ fn lemma1_short_edge_components_are_cliques() {
     let n = net.len();
     let threshold = net.alpha() / n as f64;
     let g0 = net.graph().filter_edges(|e| e.weight <= threshold);
-    assert!(topology_control::graph::components::components_are_cliques(&g0));
+    assert!(topology_control::graph::components::components_are_cliques(
+        &g0
+    ));
 }
 
 /// Theorem 10: the output is a t-spanner, for several values of epsilon on
@@ -34,7 +36,11 @@ fn theorem10_stretch_for_multiple_epsilons() {
     for eps in [0.25, 0.5, 1.0, 2.0] {
         let result = build_spanner(&net, eps).unwrap();
         let report = verify_spanner(net.graph(), &result.spanner, 1.0 + eps);
-        assert!(report.stretch_ok, "eps = {eps}: violations {:?}", report.violations);
+        assert!(
+            report.stretch_ok,
+            "eps = {eps}: violations {:?}",
+            report.violations
+        );
     }
 }
 
@@ -52,7 +58,10 @@ fn theorem11_degree_does_not_grow_with_n() {
     let min = *degrees.iter().min().unwrap();
     assert!(max <= 16, "degrees grew to {max}: {degrees:?}");
     // An 8x increase in n should not even double the maximum degree.
-    assert!(max <= 2 * min.max(4), "degree trend {degrees:?} looks unbounded");
+    assert!(
+        max <= 2 * min.max(4),
+        "degree trend {degrees:?} looks unbounded"
+    );
 }
 
 /// Theorem 13: the spanner weight stays within a constant factor of the
@@ -67,7 +76,10 @@ fn theorem13_weight_stays_near_mst() {
         ratios.push(ratio);
         let input_ratio =
             topology_control::graph::properties::weight_ratio(net.graph(), net.graph());
-        assert!(ratio < input_ratio, "the spanner must be lighter than the input");
+        assert!(
+            ratio < input_ratio,
+            "the spanner must be lighter than the input"
+        );
     }
     assert!(ratios.iter().all(|r| *r < 12.0), "weight ratios {ratios:?}");
     // The ratio must not grow systematically with n (constant-factor claim).

@@ -1,0 +1,207 @@
+//! Offline stub of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness. Each benchmark runs its routine a handful of times
+//! and prints a mean wall-clock duration — no statistics, warm-up or
+//! reports — so `cargo bench` stays fast while exercising the exact same
+//! registration surface (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, `BenchmarkId`, `Bencher::iter`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How many times the stub invokes each benchmark routine.
+const STUB_ITERATIONS: u32 = 3;
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, &mut routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores measurement time.
+    pub fn measurement_time(&mut self, _duration: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine against one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// Benchmarks a routine with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, &mut routine);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, routine: &mut F) {
+    let mut bencher = Bencher::default();
+    routine(&mut bencher);
+    bencher.report(label);
+}
+
+/// Times a closure, mirroring `criterion::Bencher`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iteration: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs the routine a few times and records the mean duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..STUB_ITERATIONS {
+            black_box(routine());
+        }
+        self.nanos_per_iteration =
+            Some(start.elapsed().as_nanos() as f64 / f64::from(STUB_ITERATIONS));
+    }
+
+    fn report(&self, label: &str) {
+        match self.nanos_per_iteration {
+            Some(nanos) => println!("{label}: {:.1} us/iter (criterion stub)", nanos / 1_000.0),
+            None => println!("{label}: no measurement (criterion stub)"),
+        }
+    }
+}
+
+/// A benchmark identifier: a name, a parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An identifier with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = { let _ = $config; $crate::Criterion::default() };
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut criterion = Criterion::default();
+        let mut calls = 0u32;
+        criterion.bench_function("plain", |b| b.iter(|| 1 + 1));
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(32), &32u32, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                n * 2
+            })
+        });
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| ()));
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

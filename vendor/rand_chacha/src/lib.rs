@@ -1,0 +1,150 @@
+//! Offline stub of the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate, providing [`ChaCha8Rng`] on top of a genuine ChaCha stream-cipher
+//! core (8 rounds, i.e. 4 double-rounds). Seeding expands the 64-bit seed into a 256-bit
+//! key through SplitMix64, so streams are deterministic per seed but not
+//! bit-identical to upstream `rand_chacha` (the workspace only relies on
+//! internal determinism).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// Expands a 64-bit seed into well-mixed words (SplitMix64).
+fn split_mix_64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The ChaCha quarter-round.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A deterministic random number generator backed by the ChaCha cipher with
+/// `R` double-rounds (so `ChaChaRng<4>` is the 8-round ChaCha8 variant).
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const R: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+/// ChaCha with 8 rounds (4 double-rounds) — the variant the workspace
+/// seeds everywhere.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds (6 double-rounds).
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds (10 double-rounds).
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+impl<const R: usize> ChaChaRng<R> {
+    const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..R {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, initial) in state.iter_mut().zip(input) {
+            *word = word.wrapping_add(initial);
+        }
+        self.buffer = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = split_mix_64(&mut s);
+            pair[0] = word as u32;
+            if pair.len() > 1 {
+                pair[1] = (word >> 32) as u32;
+            }
+        }
+        let mut rng = Self {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn blocks_differ_across_counter_values() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+}

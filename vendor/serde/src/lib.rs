@@ -1,0 +1,385 @@
+//! Offline stub of the [`serde`](https://crates.io/crates/serde) framework.
+//!
+//! The real serde serializes through a visitor pattern; this stub keeps the
+//! same *surface* the workspace uses — `use serde::{Serialize, Deserialize}`
+//! with `#[derive(Serialize, Deserialize)]` — but routes everything through
+//! a concrete [`Value`] tree. The companion `serde_json` stub renders and
+//! parses that tree as JSON. The derive macros live in the `serde_derive`
+//! stub and are re-exported here, mirroring the real crate's `derive`
+//! feature.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree of serialized data (the stub's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of string keys to values.
+    Object(Vec<(String, Value)>),
+}
+
+/// An error produced while converting to or from [`Value`] trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Self(message.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be rendered into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Converts the data model back into `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a named field inside an object value (derive-macro helper).
+pub fn get_field<'a>(value: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    match value {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+        other => Err(Error::custom(format!(
+            "expected object with field `{name}`, found {other:?}"
+        ))),
+    }
+}
+
+/// Extracts exactly `len` elements from an array value (derive-macro helper).
+pub fn get_elements(value: &Value, len: usize) -> Result<&[Value], Error> {
+    match value {
+        Value::Array(items) if items.len() == len => Ok(items),
+        Value::Array(items) => Err(Error::custom(format!(
+            "expected array of length {len}, found length {}",
+            items.len()
+        ))),
+        other => Err(Error::custom(format!("expected array, found {other:?}"))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) if *n >= 0 => Ok(*n as $t),
+                    Value::Float(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as $t),
+                    other => Err(Error::custom(format!("expected unsigned integer, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Float(x) if x.fract() == 0.0 => Ok(*x as $t),
+                    other => Err(Error::custom(format!("expected integer, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    // Non-finite floats serialize as null (mirroring the
+                    // lossiness of JSON itself).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::custom(format!("expected number, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $index:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$index.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $index; 1 })+;
+                let items = get_elements(value, LEN)?;
+                Ok(($($name::from_value(&items[$index])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Renders map entries: an object when every key is a string, otherwise an
+/// array of `[key, value]` pairs (real serde's data model allows non-string
+/// map keys; only its JSON backend rejects them).
+fn map_to_value(entries: Vec<(Value, Value)>) -> Value {
+    if entries.iter().all(|(k, _)| matches!(k, Value::Str(_))) {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| match k {
+                    Value::Str(key) => (key, v),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+fn map_from_value<K: Deserialize, V: Deserialize>(value: &Value) -> Result<Vec<(K, V)>, Error> {
+    match value {
+        Value::Object(entries) => entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?)))
+            .collect(),
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let pair = get_elements(item, 2)?;
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect(),
+        other => Err(Error::custom(format!("expected map, found {other:?}"))),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_from_value(value).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K, V> Serialize for HashMap<K, V>
+where
+    K: Serialize + Eq + std::hash::Hash,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output: callers diff serialized artifacts.
+        let mut entries: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        map_to_value(entries)
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_from_value(value).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&String::from("hi").to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let pair = (1usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::from_value(&pair.to_value()).unwrap(), pair);
+        let none: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let obj = Value::Object(vec![(String::from("a"), Value::Int(1))]);
+        assert!(get_field(&obj, "a").is_ok());
+        assert!(get_field(&obj, "b").is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline stub of `serde_derive`. Emits implementations of the serde
+//! stub's [`Value`]-based `Serialize`/`Deserialize` traits for structs and
+//! enums with unit, named and tuple variants.
+//!
+//! The real `serde_derive` parses items with `syn`; neither `syn` nor
+//! `quote` is available offline, so this walks `proc_macro::TokenStream`
+//! trees directly (attributes and nested groups arrive pre-balanced, which
+//! makes the grammar small) and assembles the output with `format!` +
+//! `str::parse`. Generics and `#[serde(...)]` attributes are out of scope
+//! and rejected with a readable compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the serde stub's `Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives the serde stub's `Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+enum Body {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct(Body),
+    Enum(Vec<(String, Body)>),
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let (name, item) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+    let code = match which {
+        Trait::Serialize => gen_serialize(&name, &item),
+        Trait::Deserialize => gen_deserialize(&name, &item),
+    };
+    code.parse().unwrap()
+}
+
+/// Parses `[attrs] [pub] (struct|enum) Name <body>` out of the derive input.
+fn parse_item(input: TokenStream) -> Result<(String, Item), String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            None => Ok((name, Item::Struct(Body::Unit))),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Item::Struct(Body::Unit))),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok((
+                name,
+                Item::Struct(Body::Named(parse_named_fields(g.stream())?)),
+            )),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok((
+                name,
+                Item::Struct(Body::Tuple(count_tuple_fields(g.stream()))),
+            )),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Item::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn skip_attributes_and_visibility(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Extracts field names from `name: Type, ...`, tracking `<...>` depth so
+/// commas inside generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let field = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        let mut angle_depth = 0usize;
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple body by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for token in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Body)>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let body = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                Body::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let len = count_tuple_fields(g.stream());
+                tokens.next();
+                Body::Tuple(len)
+            }
+            _ => Body::Unit,
+        };
+        variants.push((name, body));
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => return Err(format!("expected `,` between variants, found {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn named_to_value(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("serde::Value::Object(::std::vec![{}])", entries.join(", "))
+}
+
+fn tuple_to_value(len: usize, access: impl Fn(usize) -> String) -> String {
+    let items: Vec<String> = (0..len)
+        .map(|i| format!("serde::Serialize::to_value(&{})", access(i)))
+        .collect();
+    format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+}
+
+fn named_from_value(fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!("{f}: serde::Deserialize::from_value(serde::get_field({source}, {f:?})?)?,")
+        })
+        .collect::<Vec<_>>()
+        .join("\n                ")
+}
+
+fn gen_serialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::Struct(Body::Unit) => "serde::Value::Object(::std::vec::Vec::new())".to_string(),
+        Item::Struct(Body::Named(fields)) => named_to_value(fields, "self."),
+        Item::Struct(Body::Tuple(len)) => tuple_to_value(*len, |i| format!("self.{i}")),
+        Item::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, body)| match body {
+                    Body::Unit => format!(
+                        "Self::{variant} => serde::Value::Str(::std::string::String::from({variant:?})),"
+                    ),
+                    Body::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let payload = named_to_value(fields, "");
+                        format!(
+                            "Self::{variant} {{ {bindings} }} => serde::Value::Object(::std::vec![(::std::string::String::from({variant:?}), {payload})]),"
+                        )
+                    }
+                    Body::Tuple(len) => {
+                        let bindings: Vec<String> = (0..*len).map(|i| format!("f{i}")).collect();
+                        let payload = tuple_to_value(*len, |i| format!("f{i}"));
+                        format!(
+                            "Self::{variant}({}) => serde::Value::Object(::std::vec![(::std::string::String::from({variant:?}), {payload})]),",
+                            bindings.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match self {{\n            {}\n        }}",
+                arms.join("\n            ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::Struct(Body::Unit) => "{ let _ = value; Ok(Self) }".to_string(),
+        Item::Struct(Body::Named(fields)) => format!(
+            "Ok(Self {{\n                {}\n            }})",
+            named_from_value(fields, "value")
+        ),
+        Item::Struct(Body::Tuple(len)) => {
+            let items: Vec<String> = (0..*len)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = serde::get_elements(value, {len})?; Ok(Self({})) }}",
+                items.join(", ")
+            )
+        }
+        Item::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, body)| matches!(body, Body::Unit))
+                .map(|(variant, _)| format!("{variant:?} => Ok(Self::{variant}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(variant, body)| match body {
+                    Body::Unit => None,
+                    Body::Named(fields) => Some(format!(
+                        "{variant:?} => Ok(Self::{variant} {{\n                        {}\n                    }}),",
+                        named_from_value(fields, "payload")
+                    )),
+                    Body::Tuple(len) => {
+                        let items: Vec<String> = (0..*len)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{variant:?} => {{ let items = serde::get_elements(payload, {len})?; Ok(Self::{variant}({})) }}",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit}\n\
+                         other => Err(serde::Error::custom(::std::format!(\n\
+                             \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged}\n\
+                             other => Err(serde::Error::custom(::std::format!(\n\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(serde::Error::custom(::std::format!(\n\
+                         \"expected {name} variant, found {{other:?}}\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n                "),
+                tagged = tagged_arms.join("\n                    "),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
