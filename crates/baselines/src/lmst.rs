@@ -13,7 +13,9 @@ use tc_ubg::UnitBallGraph;
 /// Builds the symmetric LMST topology of the realised α-UBG.
 pub fn lmst(ubg: &UnitBallGraph) -> WeightedGraph {
     let n = ubg.len();
-    let graph = ubg.graph();
+    // Every per-node step only reads the radio graph (1-hop subgraph
+    // extraction + final weight lookups), so scan a flat CSR snapshot.
+    let graph = ubg.to_csr();
     // Symmetric rule: keep an edge iff both endpoints selected it in their
     // local MST. Each node contributes one "mark" per incident local-MST
     // edge, so an edge survives exactly when it collects two marks.
@@ -21,7 +23,7 @@ pub fn lmst(ubg: &UnitBallGraph) -> WeightedGraph {
         std::collections::HashMap::new();
     for u in 0..n {
         // Closed 1-hop neighbourhood of u, as a local subgraph.
-        let (local, members) = bfs::k_hop_subgraph(graph, u, 1);
+        let (local, members) = bfs::k_hop_subgraph(&graph, u, 1);
         let forest = mst::kruskal(&local);
         let local_u = members
             .iter()

@@ -21,14 +21,17 @@ fn rank(ubg: &UnitBallGraph, u: usize, v: usize) -> (f64, usize) {
 /// topology.
 pub fn xtc(ubg: &UnitBallGraph) -> WeightedGraph {
     let n = ubg.len();
-    let graph = ubg.graph();
+    // XTC only reads the radio graph; scan a flat CSR snapshot (sorted
+    // rows also make the witness check a binary search instead of a hash
+    // lookup, and edge iteration order canonical).
+    let graph = ubg.to_csr();
     let mut keep = WeightedGraph::new(n);
     for e in graph.edges() {
         let (u, v) = (e.u, e.v);
         let rank_uv = rank(ubg, u, v);
         let rank_vu = rank(ubg, v, u);
         // Drop if some common neighbour w beats v for u AND beats u for v.
-        let dropped = graph.neighbors(u).iter().any(|&(w, _)| {
+        let dropped = graph.neighbors(u).any(|(w, _)| {
             w != v && graph.has_edge(v, w) && rank(ubg, u, w) < rank_uv && rank(ubg, v, w) < rank_vu
         });
         if !dropped {

@@ -24,13 +24,16 @@ fn cone_based(ubg: &UnitBallGraph, cones: usize, theta_rule: bool) -> WeightedGr
     if n == 0 {
         return out;
     }
+    // The construction only reads the radio graph: take one flat CSR
+    // snapshot and scan its contiguous neighbor rows.
+    let input = ubg.to_csr();
     let partition = ConePartition2d::new(cones);
     let points = ubg.points();
     let cone_angle = partition.angle();
     for u in 0..n {
         // Best neighbour per cone: (score, neighbour, weight).
         let mut best: Vec<Option<(f64, usize, f64)>> = vec![None; cones];
-        for &(v, w) in ubg.graph().neighbors(u) {
+        for (v, w) in input.neighbors(u) {
             let cone = partition.cone_of(&points[u], &points[v]);
             let score = if theta_rule {
                 // Projection of uv onto the cone bisector.

@@ -1,0 +1,184 @@
+//! CSR vs adjacency-list micro-benchmark for the read-only hot paths.
+//!
+//! Times the two graph representations on the loops the verification and
+//! measurement layers actually run — single-source Dijkstra sweeps over
+//! the input UDG, and the all-edges stretch measurement over a sparse
+//! subgraph — at n ∈ {1 000, 5 000, 20 000}, then records the numbers to
+//! `BENCH_csr.json` at the workspace root (the snapshot quoted by
+//! `docs/PERFORMANCE.md`).
+//!
+//! The vendored criterion stub does not expose its measurements, so this
+//! bench times with `std::time::Instant` directly (median of several
+//! repetitions, one untimed warm-up) and prints one line per row in
+//! addition to writing the snapshot.
+//!
+//! ```sh
+//! cargo bench -p tc-bench --bench csr
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use std::time::Instant;
+use tc_baselines::yao_graph;
+use tc_bench::workloads::Workload;
+use tc_graph::{components, dijkstra, properties, CsrGraph, GraphView};
+
+/// Written at the workspace root so the snapshot sits next to the docs
+/// that cite it, regardless of the directory `cargo bench` runs from.
+const SNAPSHOT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_csr.json");
+
+/// Dijkstra sources sampled per SSSP measurement.
+const SSSP_SOURCES: usize = 32;
+
+#[derive(Serialize)]
+struct BenchRow {
+    benchmark: String,
+    n: usize,
+    edges: usize,
+    adjacency_ms: f64,
+    csr_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchSnapshot {
+    description: String,
+    command: String,
+    notes: String,
+    rows: Vec<BenchRow>,
+}
+
+/// Median wall-clock milliseconds of `reps` timed runs (after one untimed
+/// warm-up). The routine returns a checksum that is `black_box`ed so the
+/// optimizer cannot discard the work.
+fn median_ms<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    black_box(run());
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Sum of reachable distances from `SSSP_SOURCES` evenly spaced sources —
+/// the same traversal `stretch_factor` repeats per edge source.
+fn sssp_checksum<G: GraphView>(graph: &G) -> f64 {
+    let n = graph.node_count();
+    let mut sum = 0.0;
+    for source in (0..n).step_by((n / SSSP_SOURCES).max(1)).take(SSSP_SOURCES) {
+        sum += dijkstra::shortest_path_distances(graph, source)
+            .into_iter()
+            .flatten()
+            .sum::<f64>();
+    }
+    sum
+}
+
+fn push_row(rows: &mut Vec<BenchRow>, benchmark: &str, n: usize, edges: usize, adj: f64, csr: f64) {
+    println!(
+        "csr/{benchmark}/n={n}: adjacency {adj:.2} ms, csr {csr:.2} ms, speedup {:.2}x",
+        adj / csr
+    );
+    rows.push(BenchRow {
+        benchmark: benchmark.to_string(),
+        n,
+        edges,
+        adjacency_ms: adj,
+        csr_ms: csr,
+        speedup: adj / csr,
+    });
+}
+
+fn bench_csr(_c: &mut Criterion) {
+    let mut rows = Vec::new();
+
+    // Dijkstra SSSP sweep over the raw input UDG.
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let ubg = Workload::udg(42, n).build();
+        let adjacency = ubg.graph();
+        let csr = ubg.to_csr();
+        let reps = if n >= 20_000 { 5 } else { 9 };
+        let adj_ms = median_ms(reps, || sssp_checksum(adjacency));
+        let csr_ms = median_ms(reps, || sssp_checksum(&csr));
+        push_row(
+            &mut rows,
+            &format!("dijkstra_sssp_x{SSSP_SOURCES}"),
+            n,
+            adjacency.edge_count(),
+            adj_ms,
+            csr_ms,
+        );
+    }
+
+    // Connected components: pure edge iteration + union-find, the
+    // best case for the flat layout (a linear scan of two arrays vs a
+    // hash-map walk).
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let ubg = Workload::udg(42, n).build();
+        let adjacency = ubg.graph();
+        let csr = ubg.to_csr();
+        let adj_ms = median_ms(15, || {
+            (0..8)
+                .map(|_| components::component_labels(adjacency).len() as f64)
+                .sum()
+        });
+        let csr_ms = median_ms(15, || {
+            (0..8)
+                .map(|_| components::component_labels(&csr).len() as f64)
+                .sum()
+        });
+        push_row(
+            &mut rows,
+            "connected_components_x8",
+            n,
+            adjacency.edge_count(),
+            adj_ms,
+            csr_ms,
+        );
+    }
+
+    // Full stretch measurement (one Dijkstra per edge source) of a sparse
+    // Yao subgraph against the UDG — the e1/e5 verification loop. Total
+    // work is quadratic-ish in n, so the sweep stops at 5 000 nodes.
+    for &n in &[1_000usize, 5_000] {
+        let ubg = Workload::udg(43, n).build();
+        let base = ubg.graph();
+        let sub = yao_graph(&ubg, 8);
+        let base_csr = ubg.to_csr();
+        let sub_csr = CsrGraph::from(&sub);
+        let adj_ms = median_ms(3, || properties::stretch_factor(base, &sub));
+        let csr_ms = median_ms(3, || properties::stretch_factor(&base_csr, &sub_csr));
+        push_row(
+            &mut rows,
+            "stretch_factor",
+            n,
+            base.edge_count(),
+            adj_ms,
+            csr_ms,
+        );
+    }
+
+    let snapshot = BenchSnapshot {
+        description: "Dijkstra/stretch hot paths: WeightedGraph (adjacency list + hash index) \
+                      vs CsrGraph (flat compressed sparse row), median wall-clock ms"
+            .to_string(),
+        command: "cargo bench -p tc-bench --bench csr".to_string(),
+        notes: format!(
+            "dijkstra_sssp_x{SSSP_SOURCES} = {SSSP_SOURCES} single-source sweeps over the input \
+             UDG (target mean degree 12); stretch_factor = one Dijkstra per edge source over an \
+             8-cone Yao subgraph. Timed with std::time::Instant (median, 1 warm-up) because the \
+             vendored criterion stub reports but does not expose measurements."
+        ),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
+    std::fs::write(SNAPSHOT_PATH, json + "\n").expect("write BENCH_csr.json");
+    println!("wrote {SNAPSHOT_PATH}");
+}
+
+criterion_group!(benches, bench_csr);
+criterion_main!(benches);

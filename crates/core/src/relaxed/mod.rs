@@ -18,7 +18,7 @@
 //! 4. mutually redundant edges added in the same phase are pruned through
 //!    an MIS of their conflict graph, which the weight bound needs.
 //!
-//! The distributed algorithm in [`crate::distributed`] runs exactly this
+//! The distributed algorithm ([`DistributedRelaxedGreedy`](crate::DistributedRelaxedGreedy)) runs exactly this
 //! phase structure, replacing each step with its message-passing
 //! counterpart.
 

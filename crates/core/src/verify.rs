@@ -15,7 +15,7 @@
 //!   (|S ∩ E_i| ∈ {1, 2, >2}) distinguishes.
 
 use serde::{Deserialize, Serialize};
-use tc_graph::{properties, Edge, WeightedGraph};
+use tc_graph::{properties, CsrGraph, Edge, WeightedGraph};
 
 /// The outcome of verifying a spanner against its base graph.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,9 +41,15 @@ pub struct VerificationReport {
 
 /// Verifies the stretch/degree/weight properties of `spanner` with respect
 /// to `base` and stretch target `t`.
+///
+/// The stretch check runs one Dijkstra per edge source of `base`; both
+/// graphs are snapshotted once into [`CsrGraph`] so that hot loop runs on
+/// the flat representation (see `docs/PERFORMANCE.md`).
 pub fn verify_spanner(base: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> VerificationReport {
     assert!(t >= 1.0, "the stretch target must be at least 1");
-    let per_edge = properties::edge_stretches(base, spanner);
+    let base_csr = CsrGraph::from(base);
+    let spanner_csr = CsrGraph::from(spanner);
+    let per_edge = properties::edge_stretches(&base_csr, &spanner_csr);
     let tolerance = 1e-9;
     let mut violations = Vec::new();
     let mut worst: f64 = 1.0;
@@ -59,7 +65,7 @@ pub fn verify_spanner(base: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> 
         stretch_ok: violations.is_empty(),
         violations,
         max_degree: spanner.max_degree(),
-        weight_ratio: properties::weight_ratio(base, spanner),
+        weight_ratio: properties::weight_ratio(&base_csr, &spanner_csr),
         spanner_edges: spanner.edge_count(),
         base_edges: base.edge_count(),
     }

@@ -40,14 +40,24 @@ pub struct GridIndex {
 impl GridIndex {
     /// Builds an index over `points` with the given cell side length.
     ///
+    /// An empty point set yields an empty index (dimension 0, no occupied
+    /// cells) whose queries all return no hits — degenerate workloads
+    /// (n = 0 after churn or filtering) must not abort.
+    ///
+    /// ```
+    /// use tc_geometry::{GridIndex, Point};
+    /// let grid = GridIndex::build(&[], 1.0);
+    /// assert_eq!(grid.occupied_cells(), 0);
+    /// assert!(grid.query_ball(&[], &Point::new2(0.0, 0.0), 5.0).is_empty());
+    /// ```
+    ///
     /// # Panics
     ///
-    /// Panics if `cell_size <= 0`, if `points` is empty, or if the points
-    /// do not all share one dimension.
+    /// Panics if `cell_size <= 0` or if the points do not all share one
+    /// dimension.
     pub fn build(points: &[Point], cell_size: f64) -> Self {
         assert!(cell_size > 0.0, "grid cell size must be positive");
-        assert!(!points.is_empty(), "cannot index an empty point set");
-        let dim = points[0].dim();
+        let dim = points.first().map_or(0, Point::dim);
         let mut cells: HashMap<CellCoord, Vec<usize>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.dim(), dim, "all points must share a dimension");
@@ -252,9 +262,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty point set")]
-    fn empty_point_set_rejected() {
-        let _ = GridIndex::build(&[], 1.0);
+    fn empty_point_set_builds_an_empty_index() {
+        // Regression: this used to panic, aborting degenerate workloads
+        // (n = 0 after churn/filters). It must build an inert index.
+        let grid = GridIndex::build(&[], 1.0);
+        assert_eq!(grid.occupied_cells(), 0);
+        assert_eq!(grid.cell_size(), 1.0);
+        assert!(grid
+            .query_ball(&[], &Point::new2(0.3, -0.7), 10.0)
+            .is_empty());
     }
 
     proptest! {

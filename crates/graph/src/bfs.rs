@@ -5,7 +5,7 @@
 //! paper bounds k by constants such as `⌈2(2δ+1)/α⌉`. These helpers model
 //! that primitive on the simulator side and support the verification code.
 
-use crate::{NodeId, WeightedGraph};
+use crate::{GraphView, NodeId, WeightedGraph};
 use std::collections::VecDeque;
 
 /// Hop distances (number of edges) from `source`; `None` for unreachable
@@ -14,13 +14,13 @@ use std::collections::VecDeque;
 /// # Panics
 ///
 /// Panics if `source` is out of range.
-pub fn hop_distances(graph: &WeightedGraph, source: NodeId) -> Vec<Option<usize>> {
+pub fn hop_distances<G: GraphView>(graph: &G, source: NodeId) -> Vec<Option<usize>> {
     hop_distances_bounded(graph, source, usize::MAX)
 }
 
 /// Hop distances from `source`, truncated at `max_hops`.
-pub fn hop_distances_bounded(
-    graph: &WeightedGraph,
+pub fn hop_distances_bounded<G: GraphView>(
+    graph: &G,
     source: NodeId,
     max_hops: usize,
 ) -> Vec<Option<usize>> {
@@ -33,12 +33,12 @@ pub fn hop_distances_bounded(
         if du == max_hops {
             continue;
         }
-        for &(v, _) in graph.neighbors(u) {
+        graph.for_each_neighbor(u, |v, _| {
             if dist[v].is_none() {
                 dist[v] = Some(du + 1);
                 queue.push_back(v);
             }
-        }
+        });
     }
     dist
 }
@@ -46,7 +46,7 @@ pub fn hop_distances_bounded(
 /// The set of nodes within `k` hops of `source` (including `source`), in
 /// ascending order. This is the "local view" a node can assemble after `k`
 /// communication rounds.
-pub fn k_hop_neighborhood(graph: &WeightedGraph, source: NodeId, k: usize) -> Vec<NodeId> {
+pub fn k_hop_neighborhood<G: GraphView>(graph: &G, source: NodeId, k: usize) -> Vec<NodeId> {
     hop_distances_bounded(graph, source, k)
         .iter()
         .enumerate()
@@ -60,8 +60,10 @@ pub fn k_hop_neighborhood(graph: &WeightedGraph, source: NodeId, k: usize) -> Ve
 /// The subgraph keeps the original edge weights; this is exactly the local
 /// view of `G'_{i-1}` a node constructs before running a sequential
 /// single-source shortest-path computation in the distributed algorithm.
-pub fn k_hop_subgraph(
-    graph: &WeightedGraph,
+/// The input may be either representation; the (small, local) output is a
+/// mutable [`WeightedGraph`].
+pub fn k_hop_subgraph<G: GraphView>(
+    graph: &G,
     source: NodeId,
     k: usize,
 ) -> (WeightedGraph, Vec<NodeId>) {
@@ -72,18 +74,18 @@ pub fn k_hop_subgraph(
     }
     let mut sub = WeightedGraph::new(members.len());
     for &u in &members {
-        for &(v, w) in graph.neighbors(u) {
+        graph.for_each_neighbor(u, |v, w| {
             if u < v && index_of[v] != usize::MAX {
                 sub.add_edge(index_of[u], index_of[v], w);
             }
-        }
+        });
     }
     (sub, members)
 }
 
 /// Graph eccentricity in hops from `source` (longest hop distance to a
 /// reachable node).
-pub fn hop_eccentricity(graph: &WeightedGraph, source: NodeId) -> usize {
+pub fn hop_eccentricity<G: GraphView>(graph: &G, source: NodeId) -> usize {
     hop_distances(graph, source)
         .into_iter()
         .flatten()

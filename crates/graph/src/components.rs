@@ -4,16 +4,16 @@
 //! separately on each connected component of `G_0`, the graph of "short"
 //! edges; Lemma 1 guarantees each such component induces a clique.
 
-use crate::{NodeId, UnionFind, WeightedGraph};
+use crate::{GraphView, NodeId, UnionFind};
 
 /// Assigns every node a component label in `0..k` (labels are dense and
 /// ordered by smallest member).
-pub fn component_labels(graph: &WeightedGraph) -> Vec<usize> {
+pub fn component_labels<G: GraphView>(graph: &G) -> Vec<usize> {
     let n = graph.node_count();
     let mut uf = UnionFind::new(n);
-    for e in graph.edges() {
+    graph.for_each_edge(|e| {
         uf.union(e.u, e.v);
-    }
+    });
     let mut label_of_root = vec![usize::MAX; n];
     let mut labels = vec![0usize; n];
     let mut next = 0;
@@ -30,7 +30,7 @@ pub fn component_labels(graph: &WeightedGraph) -> Vec<usize> {
 
 /// The connected components as sorted vertex lists, ordered by smallest
 /// member.
-pub fn connected_components(graph: &WeightedGraph) -> Vec<Vec<NodeId>> {
+pub fn connected_components<G: GraphView>(graph: &G) -> Vec<Vec<NodeId>> {
     let labels = component_labels(graph);
     let count = labels.iter().copied().max().map_or(0, |m| m + 1);
     let mut comps = vec![Vec::new(); count];
@@ -41,18 +41,18 @@ pub fn connected_components(graph: &WeightedGraph) -> Vec<Vec<NodeId>> {
 }
 
 /// Number of connected components (isolated vertices count).
-pub fn component_count(graph: &WeightedGraph) -> usize {
+pub fn component_count<G: GraphView>(graph: &G) -> usize {
     connected_components(graph).len()
 }
 
 /// Whether the graph is connected (an empty graph is considered connected).
-pub fn is_connected(graph: &WeightedGraph) -> bool {
+pub fn is_connected<G: GraphView>(graph: &G) -> bool {
     graph.node_count() <= 1 || component_count(graph) == 1
 }
 
 /// Whether every component of the graph induces a clique — the structural
 /// property Lemma 1 asserts for `G_0`.
-pub fn components_are_cliques(graph: &WeightedGraph) -> bool {
+pub fn components_are_cliques<G: GraphView>(graph: &G) -> bool {
     connected_components(graph).iter().all(|comp| {
         comp.iter()
             .enumerate()
@@ -63,6 +63,7 @@ pub fn components_are_cliques(graph: &WeightedGraph) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CsrGraph, WeightedGraph};
 
     #[test]
     fn labels_partition_the_graph() {
@@ -119,5 +120,17 @@ mod tests {
         let g = WeightedGraph::new(4);
         assert!(components_are_cliques(&g));
         assert_eq!(component_count(&g), 4);
+    }
+
+    #[test]
+    fn csr_view_gives_identical_components() {
+        let mut g = WeightedGraph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        let csr = CsrGraph::from(&g);
+        assert_eq!(component_labels(&g), component_labels(&csr));
+        assert_eq!(connected_components(&g), connected_components(&csr));
+        assert_eq!(is_connected(&g), is_connected(&csr));
     }
 }

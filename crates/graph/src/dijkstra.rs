@@ -10,8 +10,16 @@
 //!   exit once the budget is exceeded.
 //! * **Cluster-graph weights** (Section 2.2.3): exact `sp(a, b)` between
 //!   nearby nodes.
+//!
+//! Every function is generic over [`GraphView`], so the same code serves
+//! the mutable [`WeightedGraph`](crate::WeightedGraph) used during
+//! construction and the flat [`CsrGraph`](crate::CsrGraph) used by the
+//! measurement-heavy paths (all-pairs stretch runs one Dijkstra per edge
+//! source — the layout matters; see `docs/PERFORMANCE.md`). Distances are
+//! tracked internally as plain `f64` with an infinity sentinel, so the
+//! relaxation loop touches half the memory of an `Option<f64>` array.
 
-use crate::{NodeId, WeightedGraph};
+use crate::{GraphView, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -41,6 +49,12 @@ impl Ord for HeapEntry {
     }
 }
 
+fn finite_or_none(dist: Vec<f64>) -> Vec<Option<f64>> {
+    dist.into_iter()
+        .map(|d| if d.is_finite() { Some(d) } else { None })
+        .collect()
+}
+
 /// Shortest-path distances from `source` to every node.
 ///
 /// `None` marks unreachable nodes.
@@ -48,7 +62,24 @@ impl Ord for HeapEntry {
 /// # Panics
 ///
 /// Panics if `source` is out of range.
-pub fn shortest_path_distances(graph: &WeightedGraph, source: NodeId) -> Vec<Option<f64>> {
+///
+/// # Example
+///
+/// ```
+/// use tc_graph::{dijkstra, CsrGraph, Edge, WeightedGraph};
+///
+/// let mut g = WeightedGraph::new(4);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 2.0);
+/// let d = dijkstra::shortest_path_distances(&g, 0);
+/// assert_eq!(d[2], Some(3.0));
+/// assert_eq!(d[3], None);
+///
+/// // The same call works on the flat CSR representation.
+/// let csr = CsrGraph::from(&g);
+/// assert_eq!(dijkstra::shortest_path_distances(&csr, 0), d);
+/// ```
+pub fn shortest_path_distances<G: GraphView>(graph: &G, source: NodeId) -> Vec<Option<f64>> {
     shortest_path_distances_bounded(graph, source, f64::INFINITY)
 }
 
@@ -57,50 +88,45 @@ pub fn shortest_path_distances(graph: &WeightedGraph, source: NodeId) -> Vec<Opt
 ///
 /// This is the primitive behind cluster-cover construction: the paper
 /// grows clusters `C_u = {v : sp_{G'_{i-1}}(u, v) ≤ δ·W_{i-1}}`.
-pub fn shortest_path_distances_bounded(
-    graph: &WeightedGraph,
+pub fn shortest_path_distances_bounded<G: GraphView>(
+    graph: &G,
     source: NodeId,
     radius: f64,
 ) -> Vec<Option<f64>> {
     assert!(source < graph.node_count(), "source node out of range");
-    let mut dist: Vec<Option<f64>> = vec![None; graph.node_count()];
+    let mut dist = vec![f64::INFINITY; graph.node_count()];
     let mut heap = BinaryHeap::new();
-    dist[source] = Some(0.0);
+    dist[source] = 0.0;
     heap.push(HeapEntry {
         dist: 0.0,
         node: source,
     });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if let Some(best) = dist[u] {
-            if d > best {
-                continue;
-            }
+        if d > dist[u] {
+            continue;
         }
-        for &(v, w) in graph.neighbors(u) {
+        graph.for_each_neighbor(u, |v, w| {
             let nd = d + w;
-            if nd > radius {
-                continue;
-            }
-            if dist[v].is_none_or(|cur| nd < cur) {
-                dist[v] = Some(nd);
+            if nd <= radius && nd < dist[v] {
+                dist[v] = nd;
                 heap.push(HeapEntry { dist: nd, node: v });
             }
-        }
+        });
     }
-    dist
+    finite_or_none(dist)
 }
 
 /// Shortest-path distance from `source` to `target`, or `None` if the
 /// target is unreachable.
-pub fn shortest_path_to(graph: &WeightedGraph, source: NodeId, target: NodeId) -> Option<f64> {
+pub fn shortest_path_to<G: GraphView>(graph: &G, source: NodeId, target: NodeId) -> Option<f64> {
     shortest_path_within(graph, source, target, f64::INFINITY)
 }
 
 /// Decides whether `sp(source, target) ≤ budget`, returning the distance if
 /// so. The search never expands labels above `budget`, which is the early
 /// exit used for the spanner-path queries `sp(u, v) ≤ t·|uv|`.
-pub fn shortest_path_within(
-    graph: &WeightedGraph,
+pub fn shortest_path_within<G: GraphView>(
+    graph: &G,
     source: NodeId,
     target: NodeId,
     budget: f64,
@@ -110,9 +136,9 @@ pub fn shortest_path_within(
     if source == target {
         return Some(0.0);
     }
-    let mut dist: Vec<Option<f64>> = vec![None; graph.node_count()];
+    let mut dist = vec![f64::INFINITY; graph.node_count()];
     let mut heap = BinaryHeap::new();
-    dist[source] = Some(0.0);
+    dist[source] = 0.0;
     heap.push(HeapEntry {
         dist: 0.0,
         node: source,
@@ -121,21 +147,16 @@ pub fn shortest_path_within(
         if u == target {
             return Some(d);
         }
-        if let Some(best) = dist[u] {
-            if d > best {
-                continue;
-            }
+        if d > dist[u] {
+            continue;
         }
-        for &(v, w) in graph.neighbors(u) {
+        graph.for_each_neighbor(u, |v, w| {
             let nd = d + w;
-            if nd > budget {
-                continue;
-            }
-            if dist[v].is_none_or(|cur| nd < cur) {
-                dist[v] = Some(nd);
+            if nd <= budget && nd < dist[v] {
+                dist[v] = nd;
                 heap.push(HeapEntry { dist: nd, node: v });
             }
-        }
+        });
     }
     None
 }
@@ -177,39 +198,42 @@ impl ShortestPathTree {
 }
 
 /// Full Dijkstra with predecessor tracking.
-pub fn shortest_path_tree(graph: &WeightedGraph, source: NodeId) -> ShortestPathTree {
+pub fn shortest_path_tree<G: GraphView>(graph: &G, source: NodeId) -> ShortestPathTree {
     assert!(source < graph.node_count(), "source node out of range");
     let n = graph.node_count();
-    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut dist = vec![f64::INFINITY; n];
     let mut prev: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
-    dist[source] = Some(0.0);
+    dist[source] = 0.0;
     heap.push(HeapEntry {
         dist: 0.0,
         node: source,
     });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if let Some(best) = dist[u] {
-            if d > best {
-                continue;
-            }
+        if d > dist[u] {
+            continue;
         }
-        for &(v, w) in graph.neighbors(u) {
+        graph.for_each_neighbor(u, |v, w| {
             let nd = d + w;
-            if dist[v].is_none_or(|cur| nd < cur) {
-                dist[v] = Some(nd);
+            if nd < dist[v] {
+                dist[v] = nd;
                 prev[v] = Some(u);
                 heap.push(HeapEntry { dist: nd, node: v });
             }
-        }
+        });
     }
-    ShortestPathTree { dist, prev, source }
+    ShortestPathTree {
+        dist: finite_or_none(dist),
+        prev,
+        source,
+    }
 }
 
 /// All-pairs shortest path distances, as a row-major `n × n` matrix with
 /// `f64::INFINITY` for unreachable pairs. Runs `n` Dijkstra computations;
-/// intended for verification and experiments, not for the algorithm itself.
-pub fn all_pairs_shortest_paths(graph: &WeightedGraph) -> Vec<Vec<f64>> {
+/// intended for verification and experiments, not for the algorithm itself
+/// (prefer handing it a [`CsrGraph`](crate::CsrGraph)).
+pub fn all_pairs_shortest_paths<G: GraphView>(graph: &G) -> Vec<Vec<f64>> {
     (0..graph.node_count())
         .map(|s| {
             shortest_path_distances(graph, s)
@@ -223,7 +247,7 @@ pub fn all_pairs_shortest_paths(graph: &WeightedGraph) -> Vec<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Edge;
+    use crate::{CsrGraph, Edge, WeightedGraph};
     use proptest::prelude::*;
     use rand::{Rng, SeedableRng};
 
@@ -282,6 +306,24 @@ mod tests {
     }
 
     #[test]
+    fn bounded_variants_agree_across_representations() {
+        let g = path_graph(7);
+        let csr = CsrGraph::from(&g);
+        assert_eq!(
+            shortest_path_distances_bounded(&g, 0, 3.5),
+            shortest_path_distances_bounded(&csr, 0, 3.5)
+        );
+        assert_eq!(
+            shortest_path_within(&g, 0, 4, 10.0),
+            shortest_path_within(&csr, 0, 4, 10.0)
+        );
+        assert_eq!(
+            shortest_path_within(&g, 0, 4, 2.0),
+            shortest_path_within(&csr, 0, 4, 2.0)
+        );
+    }
+
+    #[test]
     fn tree_reconstructs_paths_and_hops() {
         let mut g = WeightedGraph::new(5);
         g.add_edge(0, 1, 1.0);
@@ -317,6 +359,7 @@ mod tests {
         assert_eq!(apsp[2][0], 4.0);
         assert!(apsp[0][3].is_infinite());
         assert_eq!(apsp[1][1], 0.0);
+        assert_eq!(apsp, all_pairs_shortest_paths(&CsrGraph::from(&g)));
     }
 
     #[test]

@@ -218,11 +218,11 @@ impl WeightedGraph {
     }
 
     /// All edges collected and sorted by (weight, endpoints); the
-    /// processing order of `SEQ-GREEDY`.
+    /// processing order of `SEQ-GREEDY`. Equivalent to
+    /// [`GraphView::sorted_edge_list`](crate::GraphView::sorted_edge_list),
+    /// kept as an inherent method for callers that don't import the trait.
     pub fn sorted_edges(&self) -> Vec<Edge> {
-        let mut edges: Vec<Edge> = self.edges().collect();
-        edges.sort();
-        edges
+        crate::GraphView::sorted_edge_list(self)
     }
 
     /// Sum of all edge weights `w(G)`.

@@ -9,7 +9,13 @@
 //! whose maximal independent sets drive clustering and redundant-edge
 //! removal. This crate provides that machinery from scratch:
 //!
-//! * [`WeightedGraph`] — an adjacency-list, undirected, edge-weighted graph,
+//! * [`WeightedGraph`] — an adjacency-list, undirected, edge-weighted graph
+//!   (the mutable *builder* representation),
+//! * [`CsrGraph`] — the same graph frozen into a flat compressed-sparse-row
+//!   layout (`u32` indices, sorted cache-linear neighbor slices) for the
+//!   read-only hot paths; see `docs/PERFORMANCE.md`,
+//! * [`GraphView`] — the read-only trait both representations implement,
+//!   which every traversal below is generic over,
 //! * [`dijkstra`] — single-source shortest paths, with the bounded-radius
 //!   and early-exit variants the algorithm needs (cluster covers of radius
 //!   `δ·W_{i-1}`, spanner-path queries `sp(u,v) ≤ t·|uv|`),
@@ -38,10 +44,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bfs;
 pub mod components;
+mod csr;
 pub mod dijkstra;
 mod edge;
 mod graph;
@@ -49,10 +56,13 @@ pub mod mis;
 pub mod mst;
 pub mod properties;
 mod union_find;
+mod view;
 
+pub use csr::CsrGraph;
 pub use edge::Edge;
 pub use graph::{GraphError, WeightedGraph};
 pub use union_find::UnionFind;
+pub use view::GraphView;
 
 /// Node identifier: an index into the graph's vertex set `0..n`.
 pub type NodeId = usize;

@@ -4,7 +4,7 @@
 //! that reports a weight ratio needs `w(MST(G))` as the denominator. For a
 //! disconnected input the functions return a minimum spanning *forest*.
 
-use crate::{Edge, NodeId, UnionFind, WeightedGraph};
+use crate::{Edge, GraphView, NodeId, UnionFind, WeightedGraph};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -26,8 +26,8 @@ impl SpanningForest {
 
 /// Kruskal's algorithm. Returns a minimum spanning forest (a tree when the
 /// graph is connected).
-pub fn kruskal(graph: &WeightedGraph) -> SpanningForest {
-    let mut edges = graph.sorted_edges();
+pub fn kruskal<G: GraphView>(graph: &G) -> SpanningForest {
+    let mut edges = graph.sorted_edge_list();
     let mut uf = UnionFind::new(graph.node_count());
     let mut chosen = Vec::with_capacity(graph.node_count().saturating_sub(1));
     let mut total = 0.0;
@@ -71,7 +71,7 @@ impl Ord for PrimEntry {
 /// Prim's algorithm, included as an independent implementation used to
 /// cross-check Kruskal in tests; handles disconnected graphs by restarting
 /// from every unreached vertex.
-pub fn prim(graph: &WeightedGraph) -> SpanningForest {
+pub fn prim<G: GraphView>(graph: &G) -> SpanningForest {
     let n = graph.node_count();
     let mut in_tree = vec![false; n];
     let mut chosen = Vec::new();
@@ -82,13 +82,13 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
         }
         in_tree[start] = true;
         let mut heap = BinaryHeap::new();
-        for &(v, w) in graph.neighbors(start) {
+        graph.for_each_neighbor(start, |v, w| {
             heap.push(PrimEntry {
                 weight: w,
                 from: start,
                 to: v,
             });
-        }
+        });
         while let Some(PrimEntry { weight, from, to }) = heap.pop() {
             if in_tree[to] {
                 continue;
@@ -96,7 +96,7 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
             in_tree[to] = true;
             chosen.push(Edge::new(from, to, weight));
             total += weight;
-            for &(v, w) in graph.neighbors(to) {
+            graph.for_each_neighbor(to, |v, w| {
                 if !in_tree[v] {
                     heap.push(PrimEntry {
                         weight: w,
@@ -104,7 +104,7 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
                         to: v,
                     });
                 }
-            }
+            });
         }
     }
     SpanningForest {
@@ -114,7 +114,7 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
 }
 
 /// Total weight of a minimum spanning forest of the graph.
-pub fn mst_weight(graph: &WeightedGraph) -> f64 {
+pub fn mst_weight<G: GraphView>(graph: &G) -> f64 {
     kruskal(graph).total_weight
 }
 

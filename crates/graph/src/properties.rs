@@ -8,7 +8,7 @@
 //! * **Degree** (Theorem 11): the maximum degree of `G'`.
 //! * **Weight** (Theorem 13): `w(G') / w(MST(G))`.
 
-use crate::{dijkstra, mst, Edge, WeightedGraph};
+use crate::{dijkstra, mst, Edge, GraphView};
 use serde::{Deserialize, Serialize};
 
 /// Degree statistics of a graph.
@@ -21,7 +21,7 @@ pub struct DegreeStats {
 }
 
 /// Computes degree statistics.
-pub fn degree_stats(graph: &WeightedGraph) -> DegreeStats {
+pub fn degree_stats<G: GraphView>(graph: &G) -> DegreeStats {
     DegreeStats {
         max: graph.max_degree(),
         mean: graph.mean_degree(),
@@ -42,18 +42,18 @@ pub struct EdgeStretch {
 /// Per-edge stretch of `subgraph` with respect to every edge of `base`.
 ///
 /// Runs one Dijkstra per distinct edge source, so the cost is
-/// `O(n · m log n)` in the worst case; fine for the n ≤ a few thousand the
-/// experiments use.
-pub fn edge_stretches(base: &WeightedGraph, subgraph: &WeightedGraph) -> Vec<EdgeStretch> {
+/// `O(n · m log n)` in the worst case. This is the hottest loop of the
+/// verification layer: hand it [`CsrGraph`](crate::CsrGraph) views (the
+/// `subgraph` especially — that is what the Dijkstras traverse) when
+/// measuring anything beyond toy sizes.
+pub fn edge_stretches<B: GraphView, S: GraphView>(base: &B, subgraph: &S) -> Vec<EdgeStretch> {
     assert_eq!(
         base.node_count(),
         subgraph.node_count(),
         "base and subgraph must share a vertex set"
     );
     let mut by_source: Vec<Vec<Edge>> = vec![Vec::new(); base.node_count()];
-    for e in base.edges() {
-        by_source[e.u].push(e);
-    }
+    base.for_each_edge(|e| by_source[e.u].push(e));
     let mut out = Vec::with_capacity(base.edge_count());
     for (source, edges) in by_source.iter().enumerate() {
         if edges.is_empty() {
@@ -79,7 +79,7 @@ pub fn edge_stretches(base: &WeightedGraph, subgraph: &WeightedGraph) -> Vec<Edg
 
 /// The maximum stretch of `subgraph` over all edges of `base`
 /// (1.0 for an edgeless base graph).
-pub fn stretch_factor(base: &WeightedGraph, subgraph: &WeightedGraph) -> f64 {
+pub fn stretch_factor<B: GraphView, S: GraphView>(base: &B, subgraph: &S) -> f64 {
     edge_stretches(base, subgraph)
         .into_iter()
         .map(|s| s.stretch)
@@ -88,7 +88,7 @@ pub fn stretch_factor(base: &WeightedGraph, subgraph: &WeightedGraph) -> f64 {
 
 /// Ratio `w(subgraph) / w(MST(base))`; `f64::INFINITY` if the base MST has
 /// zero weight while the subgraph does not.
-pub fn weight_ratio(base: &WeightedGraph, subgraph: &WeightedGraph) -> f64 {
+pub fn weight_ratio<B: GraphView, S: GraphView>(base: &B, subgraph: &S) -> f64 {
     let mst_w = mst::mst_weight(base);
     let sub_w = subgraph.total_weight();
     if mst_w == 0.0 {
@@ -127,7 +127,7 @@ pub struct SpannerReport {
 }
 
 /// Measures every property of `subgraph` relative to `base` in one pass.
-pub fn spanner_report(base: &WeightedGraph, subgraph: &WeightedGraph) -> SpannerReport {
+pub fn spanner_report<B: GraphView, S: GraphView>(base: &B, subgraph: &S) -> SpannerReport {
     let deg = degree_stats(subgraph);
     SpannerReport {
         nodes: base.node_count(),
@@ -145,6 +145,7 @@ pub fn spanner_report(base: &WeightedGraph, subgraph: &WeightedGraph) -> Spanner
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CsrGraph, WeightedGraph};
 
     fn square_with_diagonals() -> WeightedGraph {
         let mut g = WeightedGraph::new(4);
@@ -227,6 +228,21 @@ mod tests {
         let stretches = edge_stretches(&g, &g);
         assert_eq!(stretches.len(), g.edge_count());
         assert!(stretches.iter().all(|s| (s.stretch - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn csr_views_measure_identically() {
+        let g = square_with_diagonals();
+        let sub = g.filter_edges(|e| e.weight <= 1.0);
+        let (gc, subc) = (CsrGraph::from(&g), CsrGraph::from(&sub));
+        assert_eq!(
+            stretch_factor(&g, &sub).to_bits(),
+            stretch_factor(&gc, &subc).to_bits()
+        );
+        assert_eq!(weight_ratio(&g, &sub), weight_ratio(&gc, &subc));
+        assert_eq!(spanner_report(&g, &sub), spanner_report(&gc, &subc));
+        // Mixed representations are allowed too.
+        assert_eq!(stretch_factor(&g, &subc), stretch_factor(&gc, &sub));
     }
 
     #[test]

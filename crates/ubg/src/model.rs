@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use tc_geometry::{Metric, Point};
-use tc_graph::WeightedGraph;
+use tc_graph::{CsrGraph, WeightedGraph};
 
 /// A realised d-dimensional α-quasi unit ball graph.
 ///
@@ -77,6 +77,17 @@ impl UnitBallGraph {
     /// The realised graph, with Euclidean edge weights.
     pub fn graph(&self) -> &WeightedGraph {
         &self.graph
+    }
+
+    /// A compressed-sparse-row snapshot of the realised graph.
+    ///
+    /// This is the conversion boundary of the two-representation graph
+    /// core: constructions that only *read* the radio graph (the
+    /// baselines, verification, measurement sweeps) should take one CSR
+    /// snapshot up front and traverse that, leaving [`Self::graph`] for
+    /// code that mutates or incrementally builds topologies.
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from(&self.graph)
     }
 
     /// A copy of the realised graph re-weighted under a different metric
@@ -175,6 +186,17 @@ mod tests {
             long,
         );
         assert!(!bad.is_valid_alpha_ubg());
+    }
+
+    #[test]
+    fn csr_snapshot_matches_the_realised_graph() {
+        let ubg = tiny();
+        let csr = ubg.to_csr();
+        assert_eq!(csr.node_count(), ubg.len());
+        assert_eq!(csr.edge_count(), ubg.graph().edge_count());
+        for e in ubg.graph().edges() {
+            assert_eq!(csr.edge_weight(e.u, e.v), Some(e.weight));
+        }
     }
 
     #[test]

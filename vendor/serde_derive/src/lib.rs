@@ -1,5 +1,5 @@
 //! Offline stub of `serde_derive`. Emits implementations of the serde
-//! stub's [`Value`]-based `Serialize`/`Deserialize` traits for structs and
+//! stub's `Value`-based `Serialize`/`Deserialize` traits for structs and
 //! enums with unit, named and tuple variants.
 //!
 //! The real `serde_derive` parses items with `syn`; neither `syn` nor
