@@ -19,8 +19,10 @@ pub fn lmst(ubg: &UnitBallGraph) -> WeightedGraph {
     // Symmetric rule: keep an edge iff both endpoints selected it in their
     // local MST. Each node contributes one "mark" per incident local-MST
     // edge, so an edge survives exactly when it collects two marks.
-    let mut marks: std::collections::HashMap<(usize, usize), usize> =
-        std::collections::HashMap::new();
+    // BTreeMap: the survivors are inserted into the output graph in
+    // iteration order, which must be reproducible.
+    let mut marks: std::collections::BTreeMap<(usize, usize), usize> =
+        std::collections::BTreeMap::new();
     for u in 0..n {
         // Closed 1-hop neighbourhood of u, as a local subgraph.
         let (local, members) = bfs::k_hop_subgraph(&graph, u, 1);

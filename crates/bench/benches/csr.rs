@@ -60,7 +60,7 @@ fn median_ms<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
             start.elapsed().as_secs_f64() * 1e3
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times.sort_by(tc_graph::cmp_f64);
     times[times.len() / 2]
 }
 

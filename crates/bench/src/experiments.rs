@@ -134,7 +134,7 @@ pub fn e2_degree(scale: Scale) -> Table {
             Box::new(move || {
                 let ubg = Workload::udg(2000 + n as u64, n).build();
                 let (_, spanner) = run_sequential(&ubg, eps);
-                let report = spanner_report(ubg.graph(), &spanner);
+                let report = spanner_report(&ubg.to_csr(), &CsrGraph::from(&spanner));
                 vec![
                     n.to_string(),
                     ubg.graph().max_degree().to_string(),
@@ -173,7 +173,7 @@ pub fn e3_weight(scale: Scale) -> Table {
             Box::new(move || {
                 let ubg = Workload::udg(3000 + n as u64, n).build();
                 let (_, spanner) = run_sequential(&ubg, eps);
-                let mst_w = mst::mst_weight(ubg.graph());
+                let mst_w = mst::mst_weight(&ubg.to_csr());
                 vec![
                     n.to_string(),
                     fmt_f(mst_w),
@@ -316,7 +316,7 @@ pub fn e6_alpha(scale: Scale) -> Table {
             Box::new(move || {
                 let ubg = Workload::alpha_ubg(6000 + (alpha * 100.0) as u64, n, alpha).build();
                 let (params, spanner) = run_sequential(&ubg, eps);
-                let report = spanner_report(ubg.graph(), &spanner);
+                let report = spanner_report(&ubg.to_csr(), &CsrGraph::from(&spanner));
                 let ok = report.stretch <= params.t + 1e-9;
                 vec![
                     fmt_f(alpha),
@@ -367,7 +367,10 @@ pub fn e7_energy(scale: Scale) -> Table {
                 let ubg = Workload::udg(7000 + gamma as u64, n).build();
                 let result = energy_spanner(&ubg, eps, 1.0, gamma).expect("valid parameters");
                 let energy_base = EdgeWeighting::Power { c: 1.0, gamma }.weighted_graph(&ubg);
-                let stretch = stretch_factor(&energy_base, &result.spanner);
+                let stretch = stretch_factor(
+                    &CsrGraph::from(&energy_base),
+                    &CsrGraph::from(&result.spanner),
+                );
                 let power = power_cost_comparison(&ubg, &result.spanner, 1.0, gamma);
                 vec![
                     fmt_f(gamma),
@@ -468,7 +471,7 @@ pub fn e9_ablation(scale: Scale) -> Table {
                 let ubg = ubg.clone();
                 Box::new(move || {
                     let result = tc_spanner::run_ablation(&ubg, params, config);
-                    let report = spanner_report(ubg.graph(), &result.spanner);
+                    let report = spanner_report(&ubg.to_csr(), &CsrGraph::from(&result.spanner));
                     vec![
                         name.to_string(),
                         report.spanner_edges.to_string(),
@@ -497,11 +500,12 @@ pub fn f1_stretch_cdf(scale: Scale) -> Table {
     let n = scale.comparison_n();
     let ubg = Workload::udg(1234, n).build();
     let (_, spanner) = run_sequential(&ubg, 0.5);
-    let mut stretches: Vec<f64> = tc_graph::properties::edge_stretches(ubg.graph(), &spanner)
-        .into_iter()
-        .map(|s| s.stretch)
-        .collect();
-    stretches.sort_by(|a, b| a.partial_cmp(b).expect("finite stretches"));
+    let mut stretches: Vec<f64> =
+        tc_graph::properties::edge_stretches(&ubg.to_csr(), &CsrGraph::from(&spanner))
+            .into_iter()
+            .map(|s| s.stretch)
+            .collect();
+    stretches.sort_by(tc_graph::cmp_f64);
     for &(label, q) in &[
         ("p10", 0.10),
         ("p50", 0.50),

@@ -31,7 +31,7 @@ use crate::relaxed::{
 use crate::seq_greedy::seq_greedy_on_subset;
 use crate::weighting::EdgeWeighting;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tc_geometry::Point;
 use tc_graph::{components, dijkstra, Edge, WeightedGraph};
 use tc_ubg::UnitBallGraph;
@@ -180,7 +180,7 @@ pub fn run_ablation_on(
         let mut same_cluster = 0;
         let mut candidates = 0;
         let mut query_edges: Vec<Edge> = Vec::new();
-        let mut best: HashMap<(usize, usize), (f64, Edge)> = HashMap::new();
+        let mut best: BTreeMap<(usize, usize), (f64, Edge)> = BTreeMap::new();
         for edge in bin_edges {
             let ca = cover.cluster_of(edge.u);
             let cb = cover.cluster_of(edge.v);

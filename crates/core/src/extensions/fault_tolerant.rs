@@ -118,8 +118,9 @@ pub fn fault_tolerance_report<R: Rng + ?Sized>(
             }
             FaultKind::Edge => {
                 let mut edges: Vec<(NodeId, NodeId)> = spanner.edges().map(|e| e.key()).collect();
-                // `edges()` iterates a hash map; sort first so the shuffle
-                // is a pure function of the caller's seed.
+                // Sort into the canonical endpoint order so the shuffle is
+                // a pure function of the caller's seed, independent of the
+                // spanner's construction history.
                 edges.sort_unstable();
                 edges.shuffle(rng);
                 let removed: Vec<(NodeId, NodeId)> = edges.into_iter().take(k).collect();

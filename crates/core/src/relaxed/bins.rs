@@ -40,9 +40,10 @@ impl BinPartition {
             }
             partition.bins[idx].push(edge);
         }
-        // `graph.edges()` iterates a hash map, so bin contents arrive in a
-        // nondeterministic order; sort so every downstream consumer (greedy
-        // processing, ablation variants) sees a seed-stable sequence.
+        // `graph.edges()` is deterministic (adjacency insertion order),
+        // but every downstream consumer (greedy processing, ablation
+        // variants) expects the canonical by-weight sequence; sorting here
+        // also keeps bin contents independent of construction history.
         for bin in &mut partition.bins {
             bin.sort();
         }

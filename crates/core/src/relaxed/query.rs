@@ -12,7 +12,7 @@
 use super::cover::ClusterCover;
 use crate::params::SpannerParams;
 use crate::weighting::EdgeWeighting;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tc_geometry::{angle_at, Point};
 use tc_graph::{Edge, WeightedGraph};
 
@@ -82,7 +82,10 @@ pub fn select_query_edges(
     bin_edges: &[Edge],
 ) -> QuerySelection {
     let mut selection = QuerySelection::default();
-    let mut best: HashMap<(usize, usize), (f64, Edge)> = HashMap::new();
+    // BTreeMap (not HashMap): its iteration order is deterministic, and
+    // the selected edges seed the spanner's insertion order, which reaches
+    // the serialized experiment output.
+    let mut best: BTreeMap<(usize, usize), (f64, Edge)> = BTreeMap::new();
     for edge in bin_edges {
         let ca = cover.cluster_of(edge.u);
         let cb = cover.cluster_of(edge.v);
@@ -106,7 +109,7 @@ pub fn select_query_edges(
         }
     }
     selection.query_edges = best.into_values().map(|(_, e)| e).collect();
-    // Deterministic order (HashMap iteration order is not).
+    // Canonical processing order: by weight, then endpoints (`Edge`'s Ord).
     selection.query_edges.sort();
     selection
 }

@@ -19,7 +19,7 @@
 //! tracked internally as plain `f64` with an infinity sentinel, so the
 //! relaxation loop touches half the memory of an `Option<f64>` array.
 
-use crate::{GraphView, NodeId};
+use crate::{cmp_f64, GraphView, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -40,12 +40,9 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so BinaryHeap (a max-heap) pops the smallest distance.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
+        // Reverse so BinaryHeap (a max-heap) pops the smallest distance;
+        // distances are finite, so the total order agrees with `<`.
+        cmp_f64(&other.dist, &self.dist).then_with(|| other.node.cmp(&self.node))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Undirected weighted edges.
 
-use crate::NodeId;
+use crate::{cmp_f64, NodeId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
@@ -51,6 +51,8 @@ impl Edge {
         } else if node == self.v {
             self.u
         } else {
+            // Documented API contract (see `# Panics` above): callers must
+            // pass an endpoint. tc-lint: allow(panic-hygiene)
             panic!(
                 "node {node} is not an endpoint of edge ({}, {})",
                 self.u, self.v
@@ -90,9 +92,9 @@ impl PartialOrd for Edge {
 
 impl Ord for Edge {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.weight
-            .partial_cmp(&other.weight)
-            .unwrap_or(Ordering::Equal)
+        // Weights are finite (asserted in `Edge::new`), so the IEEE total
+        // order agrees with `<` and never mis-sorts a heap.
+        cmp_f64(&self.weight, &other.weight)
             .then(self.u.cmp(&other.u))
             .then(self.v.cmp(&other.v))
     }

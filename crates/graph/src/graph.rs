@@ -210,11 +210,16 @@ impl WeightedGraph {
         &self.adjacency[u]
     }
 
-    /// Iterator over all edges (each undirected edge reported once).
+    /// Iterator over all edges (each undirected edge reported once), in a
+    /// deterministic order: ascending `u`, then insertion order of `u`'s
+    /// adjacency row. The edge index is a `HashMap` and must never drive
+    /// iteration — its order varies run to run, which is how the two
+    /// nondeterminism bugs of PR 1 happened (see docs/LINTS.md).
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.edge_index
-            .iter()
-            .map(|(&(u, v), &w)| Edge { u, v, weight: w })
+        self.adjacency.iter().enumerate().flat_map(|(u, row)| {
+            row.iter()
+                .filter_map(move |&(v, w)| (u < v).then_some(Edge { u, v, weight: w }))
+        })
     }
 
     /// All edges collected and sorted by (weight, endpoints); the
@@ -225,9 +230,11 @@ impl WeightedGraph {
         crate::GraphView::sorted_edge_list(self)
     }
 
-    /// Sum of all edge weights `w(G)`.
+    /// Sum of all edge weights `w(G)`, accumulated in the deterministic
+    /// order of [`WeightedGraph::edges`] (float addition is not
+    /// associative, so summation order must be reproducible).
     pub fn total_weight(&self) -> f64 {
-        self.edge_index.values().sum()
+        self.edges().map(|e| e.weight).sum()
     }
 
     /// The *power cost* of the graph: `Σ_u max_{v ∈ N(u)} w(u, v)`

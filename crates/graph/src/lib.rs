@@ -54,6 +54,7 @@ mod edge;
 mod graph;
 pub mod mis;
 pub mod mst;
+mod ordered;
 pub mod properties;
 mod union_find;
 mod view;
@@ -61,6 +62,7 @@ mod view;
 pub use csr::CsrGraph;
 pub use edge::Edge;
 pub use graph::{GraphError, WeightedGraph};
+pub use ordered::{cmp_f64, OrdF64};
 pub use union_find::UnionFind;
 pub use view::GraphView;
 

@@ -4,7 +4,7 @@
 //! that reports a weight ratio needs `w(MST(G))` as the denominator. For a
 //! disconnected input the functions return a minimum spanning *forest*.
 
-use crate::{Edge, GraphView, NodeId, UnionFind, WeightedGraph};
+use crate::{cmp_f64, Edge, GraphView, NodeId, UnionFind, WeightedGraph};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -60,11 +60,8 @@ impl PartialOrd for PrimEntry {
 
 impl Ord for PrimEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .weight
-            .partial_cmp(&self.weight)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.to.cmp(&self.to))
+        // Reversed for the min-heap; weights are finite by construction.
+        cmp_f64(&other.weight, &self.weight).then_with(|| other.to.cmp(&self.to))
     }
 }
 

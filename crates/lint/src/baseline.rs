@@ -1,0 +1,164 @@
+//! The grandfathering baseline.
+//!
+//! `lint-baseline.txt` at the workspace root records findings that predate
+//! the linter and are accepted for now. Each line is
+//! `rule<TAB>path<TAB>snippet` where `snippet` is the trimmed source line —
+//! matching on content rather than line numbers keeps the baseline stable
+//! under unrelated edits. Matching is multiset-per-key: two identical
+//! `.unwrap()` lines in one file need two baseline entries.
+
+use crate::engine::Finding;
+use std::collections::BTreeMap;
+
+/// A parsed baseline: (rule, path, snippet) → allowed count.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses baseline file content. Blank lines and `#` comments are
+    /// ignored; malformed lines are reported in the error list but do not
+    /// abort (a broken baseline must not hide findings).
+    pub fn parse(content: &str) -> (Baseline, Vec<String>) {
+        let mut baseline = Baseline::default();
+        let mut errors = Vec::new();
+        for (idx, raw) in content.lines().enumerate() {
+            let line = raw.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(snippet)) => {
+                    *baseline
+                        .entries
+                        .entry((rule.to_string(), path.to_string(), snippet.to_string()))
+                        .or_insert(0) += 1;
+                }
+                _ => errors.push(format!(
+                    "lint-baseline.txt:{}: expected `rule<TAB>path<TAB>snippet`",
+                    idx + 1
+                )),
+            }
+        }
+        (baseline, errors)
+    }
+
+    /// Serializes findings into baseline file content (sorted, one line per
+    /// finding occurrence).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# tc-lint baseline: findings grandfathered before the linter landed.\n\
+             # Format: rule<TAB>path<TAB>trimmed source line. Regenerate with\n\
+             # `cargo run -p tc-lint -- --update-baseline`; shrink it over time.\n",
+        );
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}\t{}\t{}", f.rule, f.path, f.snippet))
+            .collect();
+        lines.sort();
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Splits `findings` into (new, grandfathered) and reports baseline
+    /// entries that no longer match anything (stale — the debt was paid).
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut remaining = self.entries.clone();
+        let mut new = Vec::new();
+        let mut grandfathered = Vec::new();
+        for f in findings {
+            let key = (f.rule.to_string(), f.path.clone(), f.snippet.clone());
+            match remaining.get_mut(&key) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    grandfathered.push(f);
+                }
+                _ => new.push(f),
+            }
+        }
+        let stale: Vec<String> = remaining
+            .iter()
+            .filter(|(_, &count)| count > 0)
+            .map(|((rule, path, snippet), count)| format!("{rule}\t{path}\t{snippet} (x{count})"))
+            .collect();
+        Applied {
+            new,
+            grandfathered,
+            stale,
+        }
+    }
+}
+
+/// Result of matching findings against the baseline.
+#[derive(Debug)]
+pub struct Applied {
+    /// Findings not covered by the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by the baseline.
+    pub grandfathered: Vec<Finding>,
+    /// Baseline entries that matched nothing (candidates for removal).
+    pub stale: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Finding;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            rule,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_and_multiset_matching() {
+        let findings = vec![
+            finding("panic-hygiene", "crates/a/src/lib.rs", "x.unwrap();"),
+            finding("panic-hygiene", "crates/a/src/lib.rs", "x.unwrap();"),
+            finding("determinism", "crates/b/src/lib.rs", "for k in &m {"),
+        ];
+        let content = Baseline::render(&findings);
+        let (baseline, errors) = Baseline::parse(&content);
+        assert!(errors.is_empty(), "{errors:?}");
+
+        // All three grandfathered; a third unwrap on the same line is new.
+        let mut probe = findings.clone();
+        probe.push(finding(
+            "panic-hygiene",
+            "crates/a/src/lib.rs",
+            "x.unwrap();",
+        ));
+        let applied = baseline.apply(probe);
+        assert_eq!(applied.grandfathered.len(), 3);
+        assert_eq!(applied.new.len(), 1);
+        assert!(applied.stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported_not_fatal() {
+        let (baseline, _) =
+            Baseline::parse("panic-hygiene\tcrates/gone/src/lib.rs\told.unwrap();\n");
+        let applied = baseline.apply(Vec::new());
+        assert_eq!(applied.stale.len(), 1);
+        assert!(applied.new.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_error_but_do_not_hide_findings() {
+        let (baseline, errors) = Baseline::parse("not a valid line\n");
+        assert_eq!(errors.len(), 1);
+        let applied = baseline.apply(vec![finding("determinism", "a.rs", "x")]);
+        assert_eq!(applied.new.len(), 1);
+    }
+}

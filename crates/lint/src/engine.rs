@@ -1,0 +1,261 @@
+//! The lint engine: per-file context, rule scoping and finding plumbing.
+
+use crate::lexer::{self, Lexed, Token};
+use crate::rules;
+
+/// One lint finding, addressed by repo-relative path and 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path (unix separators), e.g. `crates/graph/src/mst.rs`.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Rule name, e.g. `determinism`.
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+    /// The trimmed source line the finding points at (used for baseline
+    /// matching, which must survive unrelated line-number churn).
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Renders the finding in the conventional `path:line:col: rule: message`
+    /// compiler format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Names of all rules, in the order they run and report.
+pub const RULE_NAMES: [&str; 5] = [
+    rules::DETERMINISM,
+    rules::FLOAT_ORDERING,
+    rules::CSR_BOUNDARY,
+    rules::PANIC_HYGIENE,
+    rules::PARALLEL_READY,
+];
+
+/// Everything a rule needs to inspect one file.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with unix separators.
+    pub path: &'a str,
+    /// The token stream.
+    pub tokens: &'a [Token],
+    /// Source split into lines (0-indexed; line N of a finding is `lines[N-1]`).
+    pub lines: &'a [&'a str],
+    /// Line ranges (inclusive) covered by `#[cfg(test)] mod … { … }` blocks.
+    pub test_ranges: &'a [(u32, u32)],
+}
+
+impl FileCtx<'_> {
+    /// The identifier text of token `i`, if it is an identifier.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        self.tokens.get(i).and_then(|t| t.ident())
+    }
+
+    /// True if token `i` exists and is the punctuation `ch`.
+    pub fn punct(&self, i: usize, ch: char) -> bool {
+        self.tokens.get(i).is_some_and(|t| t.is_punct(ch))
+    }
+
+    /// Given `self.tokens[open]` == `(`, returns the index just past the
+    /// matching `)`. Returns `tokens.len()` if unbalanced.
+    pub fn after_matching_paren(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.tokens.len() {
+            if self.punct(i, '(') {
+                depth += 1;
+            } else if self.punct(i, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.tokens.len()
+    }
+
+    /// True if `line` falls inside a `#[cfg(test)]` module.
+    pub fn in_test_mod(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// Builds a finding at token `i` with the source snippet filled in.
+    pub fn finding(&self, i: usize, rule: &'static str, message: String) -> Finding {
+        let (line, col) = self
+            .tokens
+            .get(i)
+            .map(|t| (t.line, t.col))
+            .unwrap_or((1, 1));
+        let snippet = self
+            .lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+        Finding {
+            path: self.path.to_string(),
+            line,
+            col,
+            rule,
+            message,
+            snippet,
+        }
+    }
+}
+
+/// Lints one file's source text, applying inline suppressions but not the
+/// baseline (the baseline is a workspace-level concern; see
+/// [`crate::baseline`]). `rel_path` must use `/` separators because rule
+/// scoping is path-based.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    lint_source_filtered(rel_path, source, &RULE_NAMES)
+}
+
+/// Like [`lint_source`], but only runs the rules named in `enabled`.
+pub fn lint_source_filtered(rel_path: &str, source: &str, enabled: &[&str]) -> Vec<Finding> {
+    let Lexed {
+        tokens,
+        suppressions,
+    } = lexer::lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let test_ranges = find_test_mod_ranges(&tokens);
+    let ctx = FileCtx {
+        path: rel_path,
+        tokens: &tokens,
+        lines: &lines,
+        test_ranges: &test_ranges,
+    };
+
+    let mut findings = Vec::new();
+    for &rule in enabled {
+        rules::run_rule(rule, &ctx, &mut findings);
+    }
+    findings.retain(|f| !suppressions.iter().any(|s| s.covers(f.rule, f.line)));
+    findings.sort();
+    findings
+}
+
+/// Locates `#[cfg(test)] mod name { … }` regions so rules can exempt test
+/// code that lives inline in library files.
+fn find_test_mod_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip this attribute and any further attributes, then expect
+            // `mod name {`.
+            let mut j = skip_attr(tokens, i);
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(tokens, j);
+            }
+            if tokens.get(j).and_then(Token::ident) == Some("mod") {
+                // Find the opening brace of the module body.
+                let mut k = j;
+                while k < tokens.len() && !tokens[k].is_punct('{') {
+                    // `mod name;` declares the module elsewhere — no body here.
+                    if tokens[k].is_punct(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].is_punct('{') {
+                    let start = tokens[i].line;
+                    let mut depth = 0i64;
+                    let mut end = tokens[k].line;
+                    while k < tokens.len() {
+                        if tokens[k].is_punct('{') {
+                            depth += 1;
+                        } else if tokens[k].is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = tokens[k].line;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    ranges.push((start, end));
+                    i = k;
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// True if tokens starting at `i` spell `#[cfg(test)]` (or `#[cfg(any(test, …))]`
+/// — any attribute of the form `#[cfg(…)]` that mentions the bare ident `test`).
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !(tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && tokens.get(i + 2).and_then(Token::ident) == Some("cfg"))
+    {
+        return false;
+    }
+    let end = skip_attr(tokens, i);
+    tokens[i..end].iter().any(|t| t.ident() == Some("test"))
+}
+
+/// Given `tokens[i]` == `#`, returns the index just past the attribute's
+/// closing `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_ranges_are_found() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n\
+                   fn lib2() {}\n";
+        let lexed = lexer::lex(src);
+        let ranges = find_test_mod_ranges(&lexed.tokens);
+        assert_eq!(ranges, vec![(2, 6)]);
+    }
+
+    #[test]
+    fn suppressions_silence_same_and_next_line() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>) {\n\
+                   // tc-lint: allow(determinism)\n\
+                   for (k, v) in m {\n\
+                       let _ = (k, v);\n\
+                   }\n\
+                   }\n";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert!(
+            findings.iter().all(|f| f.rule != "determinism"),
+            "suppressed: {findings:?}"
+        );
+    }
+}

@@ -1,0 +1,639 @@
+//! The five repo-invariant rules.
+//!
+//! Each rule is a token-stream pattern matcher over [`FileCtx`]. They are
+//! deliberately heuristic: the goal is to catch the bug classes that have
+//! actually occurred in this repo (see docs/LINTS.md for the incident list),
+//! with inline `// tc-lint: allow(rule)` comments and the checked-in baseline
+//! covering the rare deliberate exceptions.
+
+use crate::engine::{FileCtx, Finding};
+use std::collections::BTreeSet;
+
+/// Rule name: nondeterministic hash-container iteration.
+pub const DETERMINISM: &str = "determinism";
+/// Rule name: NaN-unsafe float comparators.
+pub const FLOAT_ORDERING: &str = "float-ordering";
+/// Rule name: read-only measurement on the mutable graph representation.
+pub const CSR_BOUNDARY: &str = "csr-boundary";
+/// Rule name: panicking calls in library code.
+pub const PANIC_HYGIENE: &str = "panic-hygiene";
+/// Rule name: constructs that block `Send`/`Sync` in core data structures.
+pub const PARALLEL_READY: &str = "parallel-ready";
+
+/// One-line description per rule, for `--list-rules`.
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        DETERMINISM => {
+            "flags iteration over HashMap/HashSet whose order can reach serialized output; \
+             use BTreeMap/BTreeSet or sort explicitly"
+        }
+        FLOAT_ORDERING => {
+            "flags partial_cmp(..).unwrap() comparators; use tc_graph::cmp_f64 / OrdF64 \
+             (IEEE-754 totalOrder, NaN-safe)"
+        }
+        CSR_BOUNDARY => {
+            "flags read-only measurements running on &WeightedGraph outside construction \
+             crates; mutate on WeightedGraph, measure on CsrGraph"
+        }
+        PANIC_HYGIENE => {
+            "denies unwrap/expect/panic! in tc-* library code (tests, benches and examples \
+             are exempt)"
+        }
+        PARALLEL_READY => {
+            "flags static mut, Rc, RefCell and other !Sync constructs in graph/geometry \
+             crates slated for parallel sweeps"
+        }
+        _ => "unknown rule",
+    }
+}
+
+/// Dispatches one rule by name over a file context.
+pub fn run_rule(rule: &str, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    match rule {
+        DETERMINISM => determinism(ctx, out),
+        FLOAT_ORDERING => float_ordering(ctx, out),
+        CSR_BOUNDARY => csr_boundary(ctx, out),
+        PANIC_HYGIENE => panic_hygiene(ctx, out),
+        PARALLEL_READY => parallel_ready(ctx, out),
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping helpers
+// ---------------------------------------------------------------------------
+
+fn in_dir(path: &str, dir: &str) -> bool {
+    path.starts_with(&format!("{dir}/")) || path.contains(&format!("/{dir}/"))
+}
+
+fn is_test_path(path: &str) -> bool {
+    in_dir(path, "tests")
+}
+
+fn is_library_src(path: &str) -> bool {
+    // `crates/<name>/src/**` or the root facade's `src/**`; binaries,
+    // benches, examples and integration tests are exempt from panic hygiene.
+    let in_src =
+        path.starts_with("src/") || (path.starts_with("crates/") && path.contains("/src/"));
+    in_src && !in_dir(path, "bin")
+}
+
+// ---------------------------------------------------------------------------
+// Tracked-identifier inference (shared by determinism and csr-boundary)
+// ---------------------------------------------------------------------------
+
+/// Infers the set of identifiers bound to one of `type_names`, from:
+///
+/// * type ascriptions — `name: HashMap<..>` in lets, fields and parameters
+///   (with any `path::` prefix and `&`/`mut` qualifiers);
+/// * constructor assignments — `name = HashMap::new()` (also
+///   `with_capacity`, `default`, `from`);
+/// * producer-method assignments — `name = expr.method(..)` for each
+///   `method` in `producers` (e.g. `weighted_graph` yields a
+///   `WeightedGraph`).
+fn tracked_idents(ctx: &FileCtx<'_>, type_names: &[&str], producers: &[&str]) -> BTreeSet<String> {
+    const CTORS: [&str; 4] = ["new", "with_capacity", "default", "from"];
+    let mut tracked = BTreeSet::new();
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        let Some(name) = ctx.ident(i) else { continue };
+
+        if type_names.contains(&name) {
+            // Walk back over `segment::` path prefixes to the head of the
+            // type path.
+            let mut cur = i;
+            while cur >= 3
+                && ctx.punct(cur - 1, ':')
+                && ctx.punct(cur - 2, ':')
+                && ctx.ident(cur - 3).is_some()
+            {
+                cur -= 3;
+            }
+            // Skip `&`, `&&`, `mut` and lifetime qualifiers.
+            let mut j = cur as i64 - 1;
+            while j >= 0 {
+                let t = &toks[j as usize];
+                let is_qual = t.is_punct('&')
+                    || t.ident() == Some("mut")
+                    || matches!(t.kind, crate::lexer::TokKind::Lifetime);
+                if is_qual {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            // Type ascription: `binder : [&] [path::]Type`.
+            if j >= 1 && ctx.punct(j as usize, ':') && !ctx.punct(j as usize - 1, ':') {
+                if let Some(binder) = ctx.ident(j as usize - 1) {
+                    tracked.insert(binder.to_string());
+                }
+            }
+            // Constructor: `binder = [path::]Type::ctor(..)`.
+            if ctx.punct(i + 1, ':')
+                && ctx.punct(i + 2, ':')
+                && ctx.ident(i + 3).is_some_and(|m| CTORS.contains(&m))
+                && j >= 1
+                && ctx.punct(j as usize, '=')
+            {
+                if let Some(binder) = ctx.ident(j as usize - 1) {
+                    tracked.insert(binder.to_string());
+                }
+            }
+        }
+
+        // Producer method: `binder = <expr>.producer(..);`
+        if producers.contains(&name) && i >= 1 && ctx.punct(i - 1, '.') && ctx.punct(i + 1, '(') {
+            // Scan left for the `=` of the enclosing `let`/assignment,
+            // stopping at statement boundaries.
+            let mut k = i as i64 - 2;
+            let mut hops = 0;
+            while k >= 1 && hops < 40 {
+                let t = &toks[k as usize];
+                if t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct('=') {
+                    if let Some(binder) = ctx.ident(k as usize - 1) {
+                        tracked.insert(binder.to_string());
+                    }
+                    break;
+                }
+                k -= 1;
+                hops += 1;
+            }
+        }
+    }
+    tracked
+}
+
+// ---------------------------------------------------------------------------
+// Rule: determinism
+// ---------------------------------------------------------------------------
+
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Adapters whose result does not depend on iteration order; a hash-map
+/// iteration immediately consumed by one of these is sound.
+const ORDER_INDEPENDENT: [&str; 3] = ["any", "all", "count"];
+
+fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if is_test_path(ctx.path) {
+        return;
+    }
+    let tracked = tracked_idents(ctx, &["HashMap", "HashSet"], &[]);
+    if tracked.is_empty() {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test_mod(toks[i].line) {
+            continue;
+        }
+        // `map.iter()`, `map.keys()`, … on a tracked hash container.
+        if toks[i].is_punct('.')
+            && ctx.ident(i + 1).is_some_and(|m| ITER_METHODS.contains(&m))
+            && ctx.punct(i + 2, '(')
+            && i >= 1
+            && ctx.ident(i - 1).is_some_and(|r| tracked.contains(r))
+        {
+            // `map.iter().any(..)` and friends are order-independent.
+            let after = ctx.after_matching_paren(i + 2);
+            if toks.get(after).is_some_and(|t| t.is_punct('.'))
+                && ctx
+                    .ident(after + 1)
+                    .is_some_and(|m| ORDER_INDEPENDENT.contains(&m))
+            {
+                continue;
+            }
+            let recv = ctx.ident(i - 1).unwrap_or_default().to_string();
+            let method = ctx.ident(i + 1).unwrap_or_default().to_string();
+            out.push(ctx.finding(
+                i + 1,
+                DETERMINISM,
+                format!(
+                    "`{recv}.{method}()` iterates a hash-based container in \
+                     nondeterministic order; switch `{recv}` to a \
+                     BTreeMap/BTreeSet or sort the results before they can \
+                     reach serialized output"
+                ),
+            ));
+        }
+        // `for x in [&[mut]] map { … }` — iteration without a method call.
+        if ctx.ident(i) == Some("for") {
+            let mut j = i + 1;
+            let mut guard = 0;
+            while j < toks.len() && ctx.ident(j) != Some("in") {
+                if toks[j].is_punct('{') || guard > 40 {
+                    j = toks.len();
+                    break;
+                }
+                j += 1;
+                guard += 1;
+            }
+            if j >= toks.len() {
+                continue;
+            }
+            let mut k = j + 1;
+            while ctx.punct(k, '&') || ctx.ident(k) == Some("mut") {
+                k += 1;
+            }
+            if let Some(name) = ctx.ident(k) {
+                if tracked.contains(name) && ctx.punct(k + 1, '{') {
+                    out.push(ctx.finding(
+                        k,
+                        DETERMINISM,
+                        format!(
+                            "`for … in {name}` iterates a hash-based container \
+                             in nondeterministic order; switch `{name}` to a \
+                             BTreeMap/BTreeSet or sort the results before they \
+                             can reach serialized output"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: float-ordering
+// ---------------------------------------------------------------------------
+
+const UNWRAP_LIKE: [&str; 4] = ["unwrap", "expect", "unwrap_or", "unwrap_or_else"];
+
+fn float_ordering(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.ident(i) != Some("partial_cmp") || !ctx.punct(i + 1, '(') {
+            continue;
+        }
+        let after = ctx.after_matching_paren(i + 1);
+        if toks.get(after).is_some_and(|t| t.is_punct('.'))
+            && ctx
+                .ident(after + 1)
+                .is_some_and(|m| UNWRAP_LIKE.contains(&m))
+        {
+            out.push(
+                ctx.finding(
+                    i,
+                    FLOAT_ORDERING,
+                    "`partial_cmp(..)` resolved with an unwrap-style fallback is \
+                 not a total order and panics (or lies) on NaN; use \
+                 `tc_graph::cmp_f64` or the `tc_graph::OrdF64` wrapper \
+                 (IEEE-754 totalOrder)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: csr-boundary
+// ---------------------------------------------------------------------------
+
+/// Read-only, `GraphView`-generic measurements exported by `tc-graph`.
+/// Calling any of these on a `&WeightedGraph` outside the construction
+/// crates repeatedly pays the pointer-chasing cost the CSR snapshot exists
+/// to avoid — and the conversion is one `ubg.to_csr()` / `CsrGraph::from`
+/// away.
+const MEASURE_FNS: [&str; 24] = [
+    "kruskal",
+    "prim",
+    "mst_weight",
+    "component_labels",
+    "connected_components",
+    "component_count",
+    "is_connected",
+    "components_are_cliques",
+    "degree_stats",
+    "edge_stretches",
+    "stretch_factor",
+    "weight_ratio",
+    "spanner_report",
+    "shortest_path_distances",
+    "shortest_path_distances_bounded",
+    "shortest_path_to",
+    "shortest_path_within",
+    "shortest_path_tree",
+    "all_pairs_shortest_paths",
+    "hop_distances",
+    "hop_distances_bounded",
+    "k_hop_neighborhood",
+    "k_hop_subgraph",
+    "hop_eccentricity",
+];
+
+fn csr_boundary(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    // The construction crates legitimately traverse the mutable graph while
+    // building it; the boundary rule is for everyone downstream.
+    if ctx.path.starts_with("crates/core/")
+        || ctx.path.starts_with("crates/graph/")
+        || is_test_path(ctx.path)
+    {
+        return;
+    }
+    let tracked = tracked_idents(ctx, &["WeightedGraph"], &["weighted_graph"]);
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test_mod(toks[i].line) {
+            continue;
+        }
+        let Some(name) = ctx.ident(i) else { continue };
+        if !MEASURE_FNS.contains(&name) || !ctx.punct(i + 1, '(') {
+            continue;
+        }
+        // A definition (`fn spanner_report(..)`) is not a call.
+        if i >= 1 && ctx.ident(i - 1) == Some("fn") {
+            continue;
+        }
+        // Inspect the first argument: flag `[&] ident` for a tracked
+        // WeightedGraph binding, and `[&] expr.graph()` — the accessor that
+        // hands out the mutable representation.
+        let open = i + 1;
+        let close = ctx.after_matching_paren(open).saturating_sub(1);
+        let mut end = open + 1;
+        let mut depth = 0i64;
+        while end < close {
+            if toks[end].is_punct('(') || toks[end].is_punct('[') {
+                depth += 1;
+            } else if toks[end].is_punct(')') || toks[end].is_punct(']') {
+                depth -= 1;
+            } else if toks[end].is_punct(',') && depth == 0 {
+                break;
+            }
+            end += 1;
+        }
+        let mut a = open + 1;
+        while ctx.punct(a, '&') {
+            a += 1;
+        }
+        let bare_tracked = end == a + 1 && ctx.ident(a).is_some_and(|id| tracked.contains(id));
+        let graph_accessor = end >= open + 4
+            && toks.get(end - 1).is_some_and(|t| t.is_punct(')'))
+            && toks.get(end - 2).is_some_and(|t| t.is_punct('('))
+            && ctx.ident(end - 3) == Some("graph")
+            && toks.get(end - 4).is_some_and(|t| t.is_punct('.'));
+        if bare_tracked || graph_accessor {
+            out.push(ctx.finding(
+                i,
+                CSR_BOUNDARY,
+                format!(
+                    "read-only measurement `{name}` runs on a mutable \
+                     `WeightedGraph`; convert at the boundary — mutate on \
+                     WeightedGraph, measure on CsrGraph \
+                     (`CsrGraph::from(&g)` / `ubg.to_csr()`, see \
+                     docs/PERFORMANCE.md)"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: panic-hygiene
+// ---------------------------------------------------------------------------
+
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !is_library_src(ctx.path) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test_mod(tok.line) {
+            continue;
+        }
+        if tok.is_punct('.')
+            && ctx.ident(i + 1).is_some_and(|m| PANIC_METHODS.contains(&m))
+            && ctx.punct(i + 2, '(')
+        {
+            let method = ctx.ident(i + 1).unwrap_or_default().to_string();
+            out.push(ctx.finding(
+                i + 1,
+                PANIC_HYGIENE,
+                format!(
+                    "`.{method}()` in library code aborts the caller's \
+                     process on failure; return Result/Option, or document \
+                     the invariant and add `// tc-lint: allow(panic-hygiene)`"
+                ),
+            ));
+        }
+        if ctx.ident(i).is_some_and(|m| PANIC_MACROS.contains(&m)) && ctx.punct(i + 1, '!') {
+            let mac = ctx.ident(i).unwrap_or_default().to_string();
+            out.push(ctx.finding(
+                i,
+                PANIC_HYGIENE,
+                format!(
+                    "`{mac}!` in library code aborts the caller's process; \
+                     return an error, or document the invariant and add \
+                     `// tc-lint: allow(panic-hygiene)`"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: parallel-ready
+// ---------------------------------------------------------------------------
+
+/// Crates whose data structures must stay `Send + Sync` so the planned
+/// parallel experiment sweeps can share them across threads.
+const PARALLEL_CRATES: [&str; 4] = [
+    "crates/graph/",
+    "crates/geometry/",
+    "crates/ubg/",
+    "crates/core/",
+];
+
+fn parallel_ready(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !PARALLEL_CRATES.iter().any(|c| ctx.path.starts_with(c)) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test_mod(tok.line) {
+            continue;
+        }
+        let Some(name) = ctx.ident(i) else { continue };
+        let hit = match name {
+            "static" => ctx.ident(i + 1) == Some("mut"),
+            // `Rc`, `RefCell`, `UnsafeCell` anywhere (type position, path or
+            // import); bare `Cell` only with type arguments to avoid false
+            // positives on unrelated identifiers.
+            "Rc" | "RefCell" | "UnsafeCell" => true,
+            "Cell" => ctx.punct(i + 1, '<'),
+            "thread_local" => ctx.punct(i + 1, '!'),
+            _ => false,
+        };
+        if hit {
+            let what = if name == "static" { "static mut" } else { name };
+            out.push(ctx.finding(
+                i,
+                PARALLEL_READY,
+                format!(
+                    "`{what}` makes this type unusable across threads; the \
+                     graph/geometry crates feed parallel sweeps — use plain \
+                     ownership, atomics, or move the state out of the shared \
+                     structure"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::lint_source;
+
+    #[test]
+    fn determinism_catches_tracked_iteration() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() {\n\
+                       let mut counts = HashMap::new();\n\
+                       counts.insert(1u32, 2u32);\n\
+                       for (k, v) in &counts {\n\
+                           println!(\"{k} {v}\");\n\
+                       }\n\
+                       let _sum: u32 = counts.values().sum();\n\
+                   }\n";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        let det: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "determinism")
+            .collect();
+        assert_eq!(det.len(), 2, "{findings:#?}");
+        assert_eq!(det[0].line, 5);
+        assert_eq!(det[1].line, 8);
+    }
+
+    #[test]
+    fn determinism_ignores_lookups_and_btreemaps() {
+        let src = "use std::collections::{BTreeMap, HashMap};\n\
+                   fn f(m: &HashMap<u32, u32>, b: &BTreeMap<u32, u32>) -> Option<u32> {\n\
+                       for (k, v) in b {\n\
+                           let _ = (k, v);\n\
+                       }\n\
+                       m.get(&1).copied()\n\
+                   }\n";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert!(
+            findings.iter().all(|f| f.rule != "determinism"),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn float_ordering_catches_partial_cmp_unwrap() {
+        let src = "fn f(v: &mut Vec<f64>) {\n\
+                   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   }\n";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "float-ordering" && f.line == 2),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn float_ordering_accepts_total_cmp() {
+        let src = "fn f(v: &mut Vec<f64>) {\n\
+                   v.sort_by(|a, b| a.total_cmp(b));\n\
+                   }\n";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert!(findings.iter().all(|f| f.rule != "float-ordering"));
+    }
+
+    #[test]
+    fn csr_boundary_flags_weighted_graph_measurement() {
+        let src = "fn report(g: &WeightedGraph) {\n\
+                       let r = spanner_report(g, g);\n\
+                       let s = stretch_factor(net.graph(), &spanner);\n\
+                       let _ = (r, s);\n\
+                   }\n";
+        let findings = lint_source("crates/bench/src/experiments.rs", src);
+        let csr: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "csr-boundary")
+            .collect();
+        assert_eq!(csr.len(), 2, "{findings:#?}");
+    }
+
+    #[test]
+    fn csr_boundary_accepts_csr_conversions_and_core() {
+        let good = "fn report(ubg: &UnitBallGraph, spanner: &WeightedGraph) {\n\
+                        let r = spanner_report(&ubg.to_csr(), &CsrGraph::from(spanner));\n\
+                        let _ = r;\n\
+                    }\n";
+        assert!(lint_source("crates/bench/src/experiments.rs", good)
+            .iter()
+            .all(|f| f.rule != "csr-boundary"));
+        let core =
+            "fn phase(g: &WeightedGraph) { let d = shortest_path_distances(g, 0); let _ = d; }\n";
+        assert!(
+            lint_source("crates/core/src/relaxed/mod.rs", core)
+                .iter()
+                .all(|f| f.rule != "csr-boundary"),
+            "construction crates are exempt"
+        );
+    }
+
+    #[test]
+    fn panic_hygiene_scopes_to_library_code() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   pub fn g() { panic!(\"boom\"); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { f(None).to_string().parse::<u32>().unwrap(); }\n\
+                   }\n";
+        let lib = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(
+            lib.iter().filter(|f| f.rule == "panic-hygiene").count(),
+            2,
+            "{lib:#?}"
+        );
+        let bench = lint_source("crates/x/benches/b.rs", src);
+        assert!(bench.iter().all(|f| f.rule != "panic-hygiene"));
+        let example = lint_source("examples/e.rs", src);
+        assert!(example.iter().all(|f| f.rule != "panic-hygiene"));
+    }
+
+    #[test]
+    fn parallel_ready_flags_interior_mutability() {
+        let src = "use std::rc::Rc;\n\
+                   use std::cell::RefCell;\n\
+                   pub struct Bad {\n\
+                       nodes: Rc<RefCell<Vec<u32>>>,\n\
+                   }\n";
+        let findings = lint_source("crates/graph/src/bad.rs", src);
+        assert!(
+            findings
+                .iter()
+                .filter(|f| f.rule == "parallel-ready")
+                .count()
+                >= 3,
+            "{findings:#?}"
+        );
+        // Outside the parallel-critical crates the rule stays quiet.
+        assert!(lint_source("crates/bench/src/bad.rs", src)
+            .iter()
+            .all(|f| f.rule != "parallel-ready"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Golden-file fixture tests: each `tests/fixtures/<name>.rs` file seeds
+//! known violations (or known-good code) and `<name>.expected` lists the
+//! exact findings (`line rule`, in output order) the linter must produce.
+//!
+//! The fixture's first line, `//@path: <rel-path>`, sets the synthetic
+//! workspace-relative path, which is what the rules use for scoping. The
+//! workspace walker skips `fixtures` directories, so the seeded violations
+//! never leak into a real lint run.
+
+use std::fs;
+use std::path::Path;
+
+fn run_fixture(name: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let source = fs::read_to_string(dir.join(format!("{name}.rs")))
+        .unwrap_or_else(|e| panic!("fixture {name}.rs: {e}"));
+    let expected_raw = fs::read_to_string(dir.join(format!("{name}.expected")))
+        .unwrap_or_else(|e| panic!("fixture {name}.expected: {e}"));
+
+    let rel_path = source
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@path:"))
+        .map(str::trim)
+        .unwrap_or_else(|| panic!("fixture {name}.rs must start with `//@path: <rel-path>`"));
+
+    let findings = tc_lint::lint_source(rel_path, &source);
+    let got: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{} {}", f.line, f.rule))
+        .collect();
+    let expected: Vec<String> = expected_raw
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        got, expected,
+        "fixture `{name}` findings diverged; full findings:\n{findings:#?}"
+    );
+}
+
+#[test]
+fn bad_determinism() {
+    run_fixture("bad_determinism");
+}
+
+#[test]
+fn bad_float() {
+    run_fixture("bad_float");
+}
+
+#[test]
+fn bad_csr() {
+    run_fixture("bad_csr");
+}
+
+#[test]
+fn bad_panic() {
+    run_fixture("bad_panic");
+}
+
+#[test]
+fn bad_parallel() {
+    run_fixture("bad_parallel");
+}
+
+#[test]
+fn good_clean() {
+    run_fixture("good_clean");
+}

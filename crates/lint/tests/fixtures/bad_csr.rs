@@ -1,0 +1,11 @@
+//@path: crates/fake/src/lib.rs
+use tc_graph::{properties, WeightedGraph};
+
+pub fn direct_stretch(base: &WeightedGraph) -> f64 {
+    let spanner = WeightedGraph::new(base.node_count());
+    properties::stretch_factor(base, &spanner)
+}
+
+pub fn count_components(net: &Network) -> usize {
+    tc_graph::components::connected_components(net.graph()).len()
+}

@@ -1,0 +1,20 @@
+//@path: crates/fake/src/lib.rs
+use std::collections::HashMap;
+
+pub fn summarize(counts: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in counts {
+        out.push(format!("{k}={v}"));
+    }
+    for v in counts.values() {
+        out.push(v.to_string());
+    }
+    // tc-lint: allow(determinism)
+    for k in counts.keys() {
+        out.push(k.clone());
+    }
+    if counts.values().any(|v| *v > 10) {
+        out.push("big".into());
+    }
+    out
+}

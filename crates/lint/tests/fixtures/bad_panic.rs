@@ -1,0 +1,25 @@
+//@path: crates/fake/src/lib.rs
+
+pub fn read(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn grab(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn boom() {
+    panic!("boom");
+}
+
+pub fn later() {
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        super::read(None).checked_add(1).unwrap();
+    }
+}

@@ -1,0 +1,12 @@
+//@path: crates/graph/src/fake.rs
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct SharedCache {
+    entries: Rc<RefCell<Vec<u64>>>,
+}
+
+pub fn counter() -> u64 {
+    static mut COUNT: u64 = 0;
+    0
+}

@@ -15,6 +15,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tc_graph::properties::spanner_report;
+use tc_graph::CsrGraph;
 use tc_spanner::{build_spanner, build_spanner_distributed};
 use tc_ubg::{generators, GreyZonePolicy, UbgBuilder};
 
@@ -38,7 +39,9 @@ fn main() {
     // Sequential construction.
     let epsilon = 1.0;
     let result = build_spanner(&network, epsilon).expect("valid parameters");
-    let report = spanner_report(network.graph(), &result.spanner);
+    // Measure on the flat CSR snapshots (docs/PERFORMANCE.md: mutate on
+    // WeightedGraph, measure on CsrGraph).
+    let report = spanner_report(&network.to_csr(), &CsrGraph::from(&result.spanner));
     println!("-- sequential relaxed greedy --");
     println!(
         "kept {} of {} links, stretch {:.3} (target {:.1}), max degree {}, weight {:.2} x MST",

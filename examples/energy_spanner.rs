@@ -12,6 +12,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tc_graph::properties::stretch_factor;
+use tc_graph::CsrGraph;
 use tc_spanner::extensions::energy::{energy_spanner, power_cost_comparison};
 use tc_spanner::extensions::fault_tolerant::{
     fault_tolerance_report, fault_tolerant_greedy, FaultKind,
@@ -35,7 +36,10 @@ fn main() {
     for gamma in [2.0, 3.0, 4.0] {
         let result = energy_spanner(&network, 0.5, 1.0, gamma).expect("valid parameters");
         let energy_base = EdgeWeighting::Power { c: 1.0, gamma }.weighted_graph(&network);
-        let stretch = stretch_factor(&energy_base, &result.spanner);
+        let stretch = stretch_factor(
+            &CsrGraph::from(&energy_base),
+            &CsrGraph::from(&result.spanner),
+        );
         let power = power_cost_comparison(&network, &result.spanner, 1.0, gamma);
         println!(
             "gamma = {gamma}: {} edges, energy stretch {:.3}, power cost {:.3} of max-power topology",

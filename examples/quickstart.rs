@@ -10,6 +10,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tc_graph::properties::spanner_report;
+use tc_graph::CsrGraph;
 use tc_spanner::{build_spanner, verify::verify_spanner};
 use tc_ubg::{generators, UbgBuilder};
 
@@ -39,7 +40,9 @@ fn main() {
 
     // 3. Verify stretch, degree and weight.
     let report = verify_spanner(network.graph(), &result.spanner, result.params.t);
-    let summary = spanner_report(network.graph(), &result.spanner);
+    // `verify_spanner` snapshots to CSR internally; for the direct property
+    // sweep we convert at the measurement boundary ourselves.
+    let summary = spanner_report(&network.to_csr(), &CsrGraph::from(&result.spanner));
     println!(
         "stretch      : {:.4} (target {:.2}) -> ok = {}",
         report.stretch, report.t, report.stretch_ok
