@@ -8,7 +8,12 @@ use tc_bench::workloads::Workload;
 use tc_spanner::{run_ablation, AblationConfig, SpannerParams};
 
 fn bench_ablation(c: &mut Criterion) {
-    println!("{}", e9_ablation(Scale::Smoke).to_plain_text());
+    println!(
+        "{}",
+        e9_ablation(Scale::Smoke)
+            .expect("smoke parameters are valid")
+            .to_plain_text()
+    );
 
     let ubg = Workload::udg(99, 150).build();
     let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();

@@ -7,7 +7,12 @@ use tc_bench::workloads::Workload;
 use tc_spanner::{RelaxedGreedy, SpannerParams};
 
 fn bench_alpha(c: &mut Criterion) {
-    println!("{}", e6_alpha(Scale::Smoke).to_plain_text());
+    println!(
+        "{}",
+        e6_alpha(Scale::Smoke)
+            .expect("smoke parameters are valid")
+            .to_plain_text()
+    );
 
     let mut group = c.benchmark_group("e6_alpha/relaxed_greedy");
     group.sample_size(10);

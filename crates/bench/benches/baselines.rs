@@ -8,7 +8,12 @@ use tc_bench::workloads::Workload;
 use tc_spanner::{seq_greedy, RelaxedGreedy, SpannerParams};
 
 fn bench_baselines(c: &mut Criterion) {
-    println!("{}", e5_baselines(Scale::Smoke).to_plain_text());
+    println!(
+        "{}",
+        e5_baselines(Scale::Smoke)
+            .expect("smoke parameters are valid")
+            .to_plain_text()
+    );
 
     let ubg = Workload::udg(55, 200).build();
     let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();

@@ -40,12 +40,29 @@ struct BenchRow {
     speedup: f64,
 }
 
+/// One row of the scheduler section: the sequential binary-heap oracle
+/// (`edge_stretches_seq`, full Dijkstra per source) against the production
+/// path (`edge_stretches`: target-directed bucket queue, fanned out over
+/// `threads` workers). Both run on CSR snapshots; outputs are bitwise
+/// identical, so the speedup is free.
+#[derive(Serialize)]
+struct SchedulerRow {
+    benchmark: String,
+    n: usize,
+    edges: usize,
+    threads: usize,
+    seq_heap_ms: f64,
+    par_bucket_ms: f64,
+    speedup: f64,
+}
+
 #[derive(Serialize)]
 struct BenchSnapshot {
     description: String,
     command: String,
     notes: String,
     rows: Vec<BenchRow>,
+    scheduler_rows: Vec<SchedulerRow>,
 }
 
 /// Median wall-clock milliseconds of `reps` timed runs (after one untimed
@@ -141,10 +158,11 @@ fn bench_csr(_c: &mut Criterion) {
         );
     }
 
-    // Full stretch measurement (one Dijkstra per edge source) of a sparse
-    // Yao subgraph against the UDG — the e1/e5 verification loop. Total
-    // work is quadratic-ish in n, so the sweep stops at 5 000 nodes.
-    for &n in &[1_000usize, 5_000] {
+    // Full stretch measurement of a sparse Yao subgraph against the UDG —
+    // the e1/e5 verification loop, on the production path (target-directed
+    // bucket searches, parallel sweep). Fast enough now to include 20 000
+    // nodes in the representation comparison too.
+    for &n in &[1_000usize, 5_000, 20_000] {
         let ubg = Workload::udg(43, n).build();
         let base = ubg.graph();
         let sub = yao_graph(&ubg, 8);
@@ -162,6 +180,46 @@ fn bench_csr(_c: &mut Criterion) {
         );
     }
 
+    // Scheduler section: the PR-2 sequential baseline (full binary-heap
+    // Dijkstra per edge source) against the parallel bucketed sweep that
+    // replaced it. The sequential 20 000-node sweep runs for minutes, so
+    // it is timed with a single repetition.
+    let mut scheduler_rows = Vec::new();
+    let threads = tc_graph::par::thread_count(0);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let ubg = Workload::udg(43, n).build();
+        let sub = yao_graph(&ubg, 8);
+        let base_csr = ubg.to_csr();
+        let sub_csr = CsrGraph::from(&sub);
+        let reps = if n >= 5_000 { 1 } else { 3 };
+        let seq_ms = median_ms(reps, || {
+            properties::edge_stretches_seq(&base_csr, &sub_csr)
+                .into_iter()
+                .map(|s| s.stretch)
+                .fold(1.0_f64, f64::max)
+        });
+        let par_ms = median_ms(reps.max(3), || {
+            properties::edge_stretches(&base_csr, &sub_csr)
+                .into_iter()
+                .map(|s| s.stretch)
+                .fold(1.0_f64, f64::max)
+        });
+        println!(
+            "csr/stretch_sweep/n={n}: seq-heap {seq_ms:.2} ms, par-bucket {par_ms:.2} ms \
+             ({threads} threads), speedup {:.2}x",
+            seq_ms / par_ms
+        );
+        scheduler_rows.push(SchedulerRow {
+            benchmark: "stretch_sweep".to_string(),
+            n,
+            edges: base_csr.edge_count(),
+            threads,
+            seq_heap_ms: seq_ms,
+            par_bucket_ms: par_ms,
+            speedup: seq_ms / par_ms,
+        });
+    }
+
     let snapshot = BenchSnapshot {
         description: "Dijkstra/stretch hot paths: WeightedGraph (adjacency list + hash index) \
                       vs CsrGraph (flat compressed sparse row), median wall-clock ms"
@@ -169,11 +227,17 @@ fn bench_csr(_c: &mut Criterion) {
         command: "cargo bench -p tc-bench --bench csr".to_string(),
         notes: format!(
             "dijkstra_sssp_x{SSSP_SOURCES} = {SSSP_SOURCES} single-source sweeps over the input \
-             UDG (target mean degree 12); stretch_factor = one Dijkstra per edge source over an \
-             8-cone Yao subgraph. Timed with std::time::Instant (median, 1 warm-up) because the \
-             vendored criterion stub reports but does not expose measurements."
+             UDG (target mean degree 12); stretch_factor = the production per-edge stretch sweep \
+             (target-directed bucket searches, parallel) over an 8-cone Yao subgraph. \
+             scheduler_rows/stretch_sweep = the same measurement as stretch_factor, comparing the \
+             sequential binary-heap oracle (edge_stretches_seq) against the parallel bucketed \
+             path (edge_stretches) on CSR snapshots; `threads` records the effective worker \
+             count (TC_THREADS override applies) and outputs are bitwise identical. Timed with \
+             std::time::Instant (median, 1 warm-up) because the vendored criterion stub reports \
+             but does not expose measurements."
         ),
         rows,
+        scheduler_rows,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
     std::fs::write(SNAPSHOT_PATH, json + "\n").expect("write BENCH_csr.json");

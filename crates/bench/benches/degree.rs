@@ -7,7 +7,12 @@ use tc_bench::workloads::Workload;
 use tc_spanner::{RelaxedGreedy, SpannerParams};
 
 fn bench_degree(c: &mut Criterion) {
-    println!("{}", e2_degree(Scale::Smoke).to_plain_text());
+    println!(
+        "{}",
+        e2_degree(Scale::Smoke)
+            .expect("smoke parameters are valid")
+            .to_plain_text()
+    );
 
     let mut group = c.benchmark_group("e2_degree/relaxed_greedy");
     group.sample_size(10);

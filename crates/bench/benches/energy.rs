@@ -7,7 +7,12 @@ use tc_bench::workloads::Workload;
 use tc_spanner::extensions::energy::{energy_spanner, power_cost_comparison};
 
 fn bench_energy(c: &mut Criterion) {
-    println!("{}", e7_energy(Scale::Smoke).to_plain_text());
+    println!(
+        "{}",
+        e7_energy(Scale::Smoke)
+            .expect("smoke parameters are valid")
+            .to_plain_text()
+    );
 
     let ubg = Workload::udg(77, 150).build();
     let mut group = c.benchmark_group("e7_energy");

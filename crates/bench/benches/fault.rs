@@ -11,7 +11,12 @@ use tc_spanner::extensions::fault_tolerant::{
 };
 
 fn bench_fault(c: &mut Criterion) {
-    println!("{}", e8_fault_tolerance(Scale::Smoke).to_plain_text());
+    println!(
+        "{}",
+        e8_fault_tolerance(Scale::Smoke)
+            .expect("smoke parameters are valid")
+            .to_plain_text()
+    );
 
     let ubg = Workload::udg(88, 120).build();
     let mut group = c.benchmark_group("e8_fault_tolerance");

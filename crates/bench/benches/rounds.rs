@@ -7,7 +7,12 @@ use tc_bench::workloads::Workload;
 use tc_spanner::{DistributedRelaxedGreedy, SpannerParams};
 
 fn bench_rounds(c: &mut Criterion) {
-    println!("{}", e4_rounds(Scale::Smoke).to_plain_text());
+    println!(
+        "{}",
+        e4_rounds(Scale::Smoke)
+            .expect("smoke parameters are valid")
+            .to_plain_text()
+    );
 
     let mut group = c.benchmark_group("e4_rounds/distributed_relaxed_greedy");
     group.sample_size(10);

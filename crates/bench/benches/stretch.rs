@@ -9,7 +9,12 @@ use tc_spanner::{RelaxedGreedy, SpannerParams};
 fn bench_stretch(c: &mut Criterion) {
     // Regenerate the experiment series so `cargo bench` output carries the
     // measured values alongside the timings.
-    println!("{}", e1_stretch(Scale::Smoke).to_plain_text());
+    println!(
+        "{}",
+        e1_stretch(Scale::Smoke)
+            .expect("smoke parameters are valid")
+            .to_plain_text()
+    );
 
     let mut group = c.benchmark_group("e1_stretch/relaxed_greedy");
     group.sample_size(10);

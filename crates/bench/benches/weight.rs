@@ -8,7 +8,12 @@ use tc_graph::{mst, properties, CsrGraph};
 use tc_spanner::{RelaxedGreedy, SpannerParams};
 
 fn bench_weight(c: &mut Criterion) {
-    println!("{}", e3_weight(Scale::Smoke).to_plain_text());
+    println!(
+        "{}",
+        e3_weight(Scale::Smoke)
+            .expect("smoke parameters are valid")
+            .to_plain_text()
+    );
 
     let mut group = c.benchmark_group("e3_weight");
     group.sample_size(10);

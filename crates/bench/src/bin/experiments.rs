@@ -11,6 +11,13 @@ use std::io::Write;
 use tc_bench::experiments::{all_experiments, Scale};
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--smoke") {
         Scale::Smoke
@@ -25,7 +32,7 @@ fn main() {
     let markdown = args.iter().any(|a| a == "--markdown");
 
     eprintln!("running experiment suite at {scale:?} scale...");
-    let tables = all_experiments(scale);
+    let tables = all_experiments(scale)?;
 
     for table in &tables {
         if markdown {
@@ -36,9 +43,10 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&tables).expect("tables serialise");
-        let mut file = std::fs::File::create(&path).expect("create JSON output file");
-        file.write_all(json.as_bytes()).expect("write JSON output");
+        let json = serde_json::to_string_pretty(&tables)?;
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(json.as_bytes())?;
         eprintln!("wrote {path}");
     }
+    Ok(())
 }

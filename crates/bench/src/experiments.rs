@@ -1,12 +1,17 @@
 //! The experiment suite: one function per table/series of EXPERIMENTS.md.
+//!
+//! Every table function returns `Result<Table, ParamError>`: a bad
+//! parameter combination aborts the sweep with a diagnostic instead of
+//! panicking inside a worker thread. The cells themselves fan out over
+//! [`tc_graph::par::run_jobs`] (the `TC_THREADS` override applies).
 
-use crate::parallel::run_jobs;
 use crate::table::{fmt_f, Table};
 use crate::workloads::Workload;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use tc_baselines::Baseline;
+use tc_graph::par::run_jobs;
 use tc_graph::properties::{spanner_report, stretch_factor, SpannerReport};
 use tc_graph::{mst, CsrGraph, WeightedGraph};
 use tc_spanner::extensions::energy::{energy_spanner, power_cost_comparison, PowerCostComparison};
@@ -14,9 +19,14 @@ use tc_spanner::extensions::fault_tolerant::{
     fault_tolerance_report, fault_tolerant_greedy, FaultKind,
 };
 use tc_spanner::{
-    seq_greedy, DistributedRelaxedGreedy, EdgeWeighting, RelaxedGreedy, SpannerParams,
+    seq_greedy, DistributedRelaxedGreedy, EdgeWeighting, ParamError, RelaxedGreedy, SpannerParams,
 };
 use tc_ubg::UnitBallGraph;
+
+/// One experiment cell: a table row, or the parameter error that stopped
+/// it. Cells run on worker threads, so errors are carried back to the
+/// table function instead of panicking in the pool.
+type RowResult = Result<Vec<String>, ParamError>;
 
 /// How large the experiment sweeps are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,50 +81,73 @@ impl Scale {
     }
 }
 
-fn run_sequential(ubg: &UnitBallGraph, epsilon: f64) -> (SpannerParams, WeightedGraph) {
-    let params = SpannerParams::for_epsilon(epsilon, ubg.alpha()).expect("valid parameters");
+fn run_sequential(
+    ubg: &UnitBallGraph,
+    epsilon: f64,
+) -> Result<(SpannerParams, WeightedGraph), ParamError> {
+    let params = SpannerParams::for_epsilon(epsilon, ubg.alpha())?;
     let result = RelaxedGreedy::new(params).run(ubg);
-    (params, result.spanner)
+    Ok((params, result.spanner))
+}
+
+/// Formats a report's stretch cell, surfacing disconnected pairs (which
+/// the finite `stretch` field deliberately excludes) next to the value.
+fn fmt_stretch(report: &SpannerReport) -> String {
+    if report.disconnected_pairs > 0 {
+        format!(
+            "{} (+{} disconnected)",
+            fmt_f(report.stretch),
+            report.disconnected_pairs
+        )
+    } else {
+        fmt_f(report.stretch)
+    }
+}
+
+/// Whether a report meets the stretch target `t`: no disconnected pair and
+/// a finite stretch within tolerance.
+fn within_target(report: &SpannerReport, t: f64) -> bool {
+    report.disconnected_pairs == 0 && report.stretch <= t + 1e-9
 }
 
 /// E1 — Theorem 10: the measured stretch never exceeds `t = 1 + ε`.
-pub fn e1_stretch(scale: Scale) -> Table {
+pub fn e1_stretch(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "E1",
         "Stretch vs. target (Theorem 10)",
         &["n", "alpha", "eps", "t", "stretch", "within target"],
     );
-    let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
+    let mut jobs: Vec<Box<dyn FnOnce() -> RowResult + Send>> = Vec::new();
     for &n in &scale.node_counts() {
         for &eps in &scale.epsilons() {
             for &alpha in &[0.75, 1.0] {
                 jobs.push(Box::new(move || {
                     let ubg = Workload::alpha_ubg(1000 + n as u64, n, alpha).build();
-                    let (params, spanner) = run_sequential(&ubg, eps);
+                    let (params, spanner) = run_sequential(&ubg, eps)?;
                     // Measurement boundary: snapshot both graphs to CSR so
-                    // the per-edge Dijkstra sweep runs on the flat layout.
+                    // the per-edge sweep runs on the flat layout.
                     let stretch = stretch_factor(&ubg.to_csr(), &CsrGraph::from(&spanner));
-                    vec![
+                    Ok(vec![
                         n.to_string(),
                         fmt_f(alpha),
                         fmt_f(eps),
                         fmt_f(params.t),
                         fmt_f(stretch),
                         (stretch <= params.t + 1e-9).to_string(),
-                    ]
+                    ])
                 }));
             }
         }
     }
     for row in run_jobs(jobs, scale.threads()) {
-        table.push_row(row);
+        table.push_row(row?);
     }
-    table
+    Ok(table)
 }
 
 /// E2 — Theorem 11: the spanner's maximum degree stays constant as `n`
 /// grows (while the input's maximum degree grows with density/fluctuations).
-pub fn e2_degree(scale: Scale) -> Table {
+pub fn e2_degree(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "E2",
         "Maximum degree vs. n (Theorem 11)",
@@ -127,33 +160,33 @@ pub fn e2_degree(scale: Scale) -> Table {
         ],
     );
     let eps = 0.5;
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = scale
+    let jobs: Vec<Box<dyn FnOnce() -> RowResult + Send>> = scale
         .node_counts()
         .into_iter()
         .map(|n| {
             Box::new(move || {
                 let ubg = Workload::udg(2000 + n as u64, n).build();
-                let (_, spanner) = run_sequential(&ubg, eps);
+                let (_, spanner) = run_sequential(&ubg, eps)?;
                 let report = spanner_report(&ubg.to_csr(), &CsrGraph::from(&spanner));
-                vec![
+                Ok(vec![
                     n.to_string(),
                     ubg.graph().max_degree().to_string(),
                     report.max_degree.to_string(),
                     fmt_f(report.mean_degree),
                     fmt_f(report.spanner_edges as f64 / n as f64),
-                ]
-            }) as Box<dyn FnOnce() -> Vec<String> + Send>
+                ])
+            }) as Box<dyn FnOnce() -> RowResult + Send>
         })
         .collect();
     for row in run_jobs(jobs, scale.threads()) {
-        table.push_row(row);
+        table.push_row(row?);
     }
-    table
+    Ok(table)
 }
 
 /// E3 — Theorem 13: the spanner weight stays within a constant factor of
 /// the MST weight as `n` grows.
-pub fn e3_weight(scale: Scale) -> Table {
+pub fn e3_weight(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "E3",
         "Weight vs. MST (Theorem 13)",
@@ -166,33 +199,33 @@ pub fn e3_weight(scale: Scale) -> Table {
         ],
     );
     let eps = 0.5;
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = scale
+    let jobs: Vec<Box<dyn FnOnce() -> RowResult + Send>> = scale
         .node_counts()
         .into_iter()
         .map(|n| {
             Box::new(move || {
                 let ubg = Workload::udg(3000 + n as u64, n).build();
-                let (_, spanner) = run_sequential(&ubg, eps);
+                let (_, spanner) = run_sequential(&ubg, eps)?;
                 let mst_w = mst::mst_weight(&ubg.to_csr());
-                vec![
+                Ok(vec![
                     n.to_string(),
                     fmt_f(mst_w),
                     fmt_f(spanner.total_weight()),
                     fmt_f(spanner.total_weight() / mst_w),
                     fmt_f(ubg.graph().total_weight() / mst_w),
-                ]
-            }) as Box<dyn FnOnce() -> Vec<String> + Send>
+                ])
+            }) as Box<dyn FnOnce() -> RowResult + Send>
         })
         .collect();
     for row in run_jobs(jobs, scale.threads()) {
-        table.push_row(row);
+        table.push_row(row?);
     }
-    table
+    Ok(table)
 }
 
 /// E4 — the round complexity of the distributed algorithm, normalised by
 /// the paper's `log n · log* n` bound.
-pub fn e4_rounds(scale: Scale) -> Table {
+pub fn e4_rounds(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "E4",
         "Distributed rounds vs. n (main theorem)",
@@ -207,16 +240,15 @@ pub fn e4_rounds(scale: Scale) -> Table {
         ],
     );
     let eps = 1.0;
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = scale
+    let jobs: Vec<Box<dyn FnOnce() -> RowResult + Send>> = scale
         .rounds_node_counts()
         .into_iter()
         .map(|n| {
             Box::new(move || {
                 let ubg = Workload::udg(4000 + n as u64, n).build();
-                let params =
-                    SpannerParams::for_epsilon(eps, ubg.alpha()).expect("valid parameters");
+                let params = SpannerParams::for_epsilon(eps, ubg.alpha())?;
                 let out = DistributedRelaxedGreedy::new(params).run(&ubg);
-                vec![
+                Ok(vec![
                     n.to_string(),
                     out.rounds.to_string(),
                     fmt_f(out.log_n),
@@ -224,19 +256,19 @@ pub fn e4_rounds(scale: Scale) -> Table {
                     fmt_f(out.normalized_rounds()),
                     out.messages.to_string(),
                     out.result.phases.len().to_string(),
-                ]
-            }) as Box<dyn FnOnce() -> Vec<String> + Send>
+                ])
+            }) as Box<dyn FnOnce() -> RowResult + Send>
         })
         .collect();
     for row in run_jobs(jobs, scale.threads()) {
-        table.push_row(row);
+        table.push_row(row?);
     }
-    table
+    Ok(table)
 }
 
 /// E5 — comparison against the classical topology-control baselines
 /// (Section 1.3's qualitative claim, measured).
-pub fn e5_baselines(scale: Scale) -> Table {
+pub fn e5_baselines(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "E5",
         "Comparison with classical topology-control algorithms",
@@ -254,7 +286,7 @@ pub fn e5_baselines(scale: Scale) -> Table {
     let eps = 0.5;
 
     let mut entries: Vec<(String, WeightedGraph)> = Vec::new();
-    let (_, relaxed) = run_sequential(&ubg, eps);
+    let (_, relaxed) = run_sequential(&ubg, eps)?;
     entries.push(("relaxed-greedy (this paper)".to_string(), relaxed));
     entries.push(("seq-greedy".to_string(), seq_greedy(ubg.graph(), 1.0 + eps)));
     for baseline in Baseline::all() {
@@ -282,16 +314,16 @@ pub fn e5_baselines(scale: Scale) -> Table {
             name,
             report.spanner_edges.to_string(),
             report.max_degree.to_string(),
-            fmt_f(report.stretch),
+            fmt_stretch(&report),
             fmt_f(report.weight_ratio),
             fmt_f(power.ratio),
         ]);
     }
-    table
+    Ok(table)
 }
 
 /// E6 — sensitivity to the α parameter and the grey-zone realisation.
-pub fn e6_alpha(scale: Scale) -> Table {
+pub fn e6_alpha(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "E6",
         "Sensitivity to alpha (quasi-UBG generality)",
@@ -310,38 +342,38 @@ pub fn e6_alpha(scale: Scale) -> Table {
         Scale::Smoke => vec![0.5, 1.0],
         Scale::Paper => vec![0.3, 0.5, 0.7, 0.9, 1.0],
     };
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = alphas
+    let jobs: Vec<Box<dyn FnOnce() -> RowResult + Send>> = alphas
         .into_iter()
         .map(|alpha| {
             Box::new(move || {
                 let ubg = Workload::alpha_ubg(6000 + (alpha * 100.0) as u64, n, alpha).build();
-                let (params, spanner) = run_sequential(&ubg, eps);
+                let (params, spanner) = run_sequential(&ubg, eps)?;
                 let report = spanner_report(&ubg.to_csr(), &CsrGraph::from(&spanner));
-                let ok = report.stretch <= params.t + 1e-9;
-                vec![
+                let ok = within_target(&report, params.t);
+                Ok(vec![
                     fmt_f(alpha),
                     report.base_edges.to_string(),
                     report.spanner_edges.to_string(),
                     format!(
                         "{} ({})",
-                        fmt_f(report.stretch),
+                        fmt_stretch(&report),
                         if ok { "ok" } else { "VIOLATION" }
                     ),
                     report.max_degree.to_string(),
                     fmt_f(report.weight_ratio),
-                ]
-            }) as Box<dyn FnOnce() -> Vec<String> + Send>
+                ])
+            }) as Box<dyn FnOnce() -> RowResult + Send>
         })
         .collect();
     for row in run_jobs(jobs, scale.threads()) {
-        table.push_row(row);
+        table.push_row(row?);
     }
-    table
+    Ok(table)
 }
 
 /// E7 — energy spanners (extension 2) and the power-cost measure
 /// (extension 3).
-pub fn e7_energy(scale: Scale) -> Table {
+pub fn e7_energy(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "E7",
         "Energy spanners and power cost (Section 1.6, extensions 2-3)",
@@ -360,38 +392,38 @@ pub fn e7_energy(scale: Scale) -> Table {
         Scale::Smoke => vec![2.0],
         Scale::Paper => vec![2.0, 3.0, 4.0],
     };
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = gammas
+    let jobs: Vec<Box<dyn FnOnce() -> RowResult + Send>> = gammas
         .into_iter()
         .map(|gamma| {
             Box::new(move || {
                 let ubg = Workload::udg(7000 + gamma as u64, n).build();
-                let result = energy_spanner(&ubg, eps, 1.0, gamma).expect("valid parameters");
+                let result = energy_spanner(&ubg, eps, 1.0, gamma)?;
                 let energy_base = EdgeWeighting::Power { c: 1.0, gamma }.weighted_graph(&ubg);
                 let stretch = stretch_factor(
                     &CsrGraph::from(&energy_base),
                     &CsrGraph::from(&result.spanner),
                 );
                 let power = power_cost_comparison(&ubg, &result.spanner, 1.0, gamma);
-                vec![
+                Ok(vec![
                     fmt_f(gamma),
                     fmt_f(stretch),
                     fmt_f(result.params.t),
                     fmt_f(power.spanner),
                     fmt_f(power.full_topology),
                     fmt_f(power.ratio),
-                ]
-            }) as Box<dyn FnOnce() -> Vec<String> + Send>
+                ])
+            }) as Box<dyn FnOnce() -> RowResult + Send>
         })
         .collect();
     for row in run_jobs(jobs, scale.threads()) {
-        table.push_row(row);
+        table.push_row(row?);
     }
-    table
+    Ok(table)
 }
 
 /// E8 — k-fault-tolerant spanners (extension 1): residual stretch under
 /// random edge faults.
-pub fn e8_fault_tolerance(scale: Scale) -> Table {
+pub fn e8_fault_tolerance(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "E8",
         "Fault tolerance (Section 1.6, extension 1)",
@@ -432,7 +464,7 @@ pub fn e8_fault_tolerance(scale: Scale) -> Table {
             report.trials.to_string(),
         ]);
     }
-    table
+    Ok(table)
 }
 
 /// E9 — ablation: what each mechanism of the relaxed greedy construction
@@ -440,7 +472,7 @@ pub fn e8_fault_tolerance(scale: Scale) -> Table {
 /// ablate). Every variant must still meet the stretch target; the columns
 /// show what is paid in edges, degree and weight when a mechanism is
 /// removed.
-pub fn e9_ablation(scale: Scale) -> Table {
+pub fn e9_ablation(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "E9",
         "Ablation of the relaxed-greedy mechanisms (coarse bins, r = 1.5)",
@@ -461,10 +493,8 @@ pub fn e9_ablation(scale: Scale) -> Table {
     // makes each phase process many edges at once — the regime where the
     // covered-edge filter, cluster-pair dedup and redundancy removal do
     // real work. The stretch guarantee (Theorem 10) does not depend on r.
-    let params = SpannerParams::for_epsilon(0.5, 1.0)
-        .expect("valid parameters")
-        .with_bin_growth(1.5);
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> =
+    let params = SpannerParams::for_epsilon(0.5, 1.0)?.with_bin_growth(1.5);
+    let jobs: Vec<Box<dyn FnOnce() -> RowResult + Send>> =
         tc_spanner::AblationConfig::named_variants()
             .into_iter()
             .map(|(name, config)| {
@@ -472,26 +502,26 @@ pub fn e9_ablation(scale: Scale) -> Table {
                 Box::new(move || {
                     let result = tc_spanner::run_ablation(&ubg, params, config);
                     let report = spanner_report(&ubg.to_csr(), &CsrGraph::from(&result.spanner));
-                    vec![
+                    Ok(vec![
                         name.to_string(),
                         report.spanner_edges.to_string(),
                         report.max_degree.to_string(),
-                        fmt_f(report.stretch),
+                        fmt_stretch(&report),
                         fmt_f(report.weight_ratio),
-                        (report.stretch <= params.t + 1e-9).to_string(),
-                    ]
-                }) as Box<dyn FnOnce() -> Vec<String> + Send>
+                        within_target(&report, params.t).to_string(),
+                    ])
+                }) as Box<dyn FnOnce() -> RowResult + Send>
             })
             .collect();
     for row in run_jobs(jobs, scale.threads()) {
-        table.push_row(row);
+        table.push_row(row?);
     }
-    table
+    Ok(table)
 }
 
 /// F1 — figure-style series: the distribution (percentiles) of per-edge
 /// stretch for a single representative run.
-pub fn f1_stretch_cdf(scale: Scale) -> Table {
+pub fn f1_stretch_cdf(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "F1",
         "Per-edge stretch distribution (single run, eps = 0.5)",
@@ -499,7 +529,7 @@ pub fn f1_stretch_cdf(scale: Scale) -> Table {
     );
     let n = scale.comparison_n();
     let ubg = Workload::udg(1234, n).build();
-    let (_, spanner) = run_sequential(&ubg, 0.5);
+    let (_, spanner) = run_sequential(&ubg, 0.5)?;
     let mut stretches: Vec<f64> =
         tc_graph::properties::edge_stretches(&ubg.to_csr(), &CsrGraph::from(&spanner))
             .into_iter()
@@ -516,12 +546,12 @@ pub fn f1_stretch_cdf(scale: Scale) -> Table {
         let idx = ((stretches.len() as f64 - 1.0) * q).round() as usize;
         table.push_row(vec![label.to_string(), fmt_f(stretches[idx])]);
     }
-    table
+    Ok(table)
 }
 
 /// F2 — figure-style series: rounds of the distributed algorithm against
 /// the `c·log n·log* n` reference curve (reports the implied constant `c`).
-pub fn f2_rounds_series(scale: Scale) -> Table {
+pub fn f2_rounds_series(scale: Scale) -> Result<Table, ParamError> {
     let mut table = Table::new(
         "F2",
         "Rounds vs. reference curve c*log(n)*log*(n)",
@@ -533,46 +563,46 @@ pub fn f2_rounds_series(scale: Scale) -> Table {
         ],
     );
     let eps = 1.0;
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = scale
+    let jobs: Vec<Box<dyn FnOnce() -> RowResult + Send>> = scale
         .rounds_node_counts()
         .into_iter()
         .map(|n| {
             Box::new(move || {
                 let ubg = Workload::udg(9000 + n as u64, n).build();
-                let params =
-                    SpannerParams::for_epsilon(eps, ubg.alpha()).expect("valid parameters");
+                let params = SpannerParams::for_epsilon(eps, ubg.alpha())?;
                 let out = DistributedRelaxedGreedy::new(params).run(&ubg);
                 let reference = out.log_n * out.log_star_n.max(1) as f64;
-                vec![
+                Ok(vec![
                     n.to_string(),
                     out.rounds.to_string(),
                     fmt_f(reference),
                     fmt_f(out.rounds as f64 / reference),
-                ]
-            }) as Box<dyn FnOnce() -> Vec<String> + Send>
+                ])
+            }) as Box<dyn FnOnce() -> RowResult + Send>
         })
         .collect();
     for row in run_jobs(jobs, scale.threads()) {
-        table.push_row(row);
+        table.push_row(row?);
     }
-    table
+    Ok(table)
 }
 
-/// Runs every experiment at the given scale, in order.
-pub fn all_experiments(scale: Scale) -> Vec<Table> {
-    vec![
-        e1_stretch(scale),
-        e2_degree(scale),
-        e3_weight(scale),
-        e4_rounds(scale),
-        e5_baselines(scale),
-        e6_alpha(scale),
-        e7_energy(scale),
-        e8_fault_tolerance(scale),
-        e9_ablation(scale),
-        f1_stretch_cdf(scale),
-        f2_rounds_series(scale),
-    ]
+/// Runs every experiment at the given scale, in order. The first parameter
+/// error aborts the sweep.
+pub fn all_experiments(scale: Scale) -> Result<Vec<Table>, ParamError> {
+    Ok(vec![
+        e1_stretch(scale)?,
+        e2_degree(scale)?,
+        e3_weight(scale)?,
+        e4_rounds(scale)?,
+        e5_baselines(scale)?,
+        e6_alpha(scale)?,
+        e7_energy(scale)?,
+        e8_fault_tolerance(scale)?,
+        e9_ablation(scale)?,
+        f1_stretch_cdf(scale)?,
+        f2_rounds_series(scale)?,
+    ])
 }
 
 #[cfg(test)]
@@ -581,7 +611,7 @@ mod tests {
 
     #[test]
     fn e1_smoke_confirms_the_stretch_target() {
-        let table = e1_stretch(Scale::Smoke);
+        let table = e1_stretch(Scale::Smoke).expect("smoke parameters are valid");
         assert!(!table.rows.is_empty());
         for row in &table.rows {
             assert_eq!(row.last().unwrap(), "true", "row {row:?}");
@@ -590,12 +620,12 @@ mod tests {
 
     #[test]
     fn e2_and_e3_smoke_produce_bounded_ratios() {
-        let degree = e2_degree(Scale::Smoke);
+        let degree = e2_degree(Scale::Smoke).expect("smoke parameters are valid");
         for row in &degree.rows {
             let max_deg: f64 = row[2].parse().unwrap();
             assert!(max_deg <= 30.0, "spanner degree {max_deg} looks unbounded");
         }
-        let weight = e3_weight(Scale::Smoke);
+        let weight = e3_weight(Scale::Smoke).expect("smoke parameters are valid");
         for row in &weight.rows {
             let ratio: f64 = row[3].parse().unwrap();
             assert!((1.0 - 1e-9..40.0).contains(&ratio), "weight ratio {ratio}");
@@ -604,7 +634,7 @@ mod tests {
 
     #[test]
     fn e4_smoke_counts_rounds() {
-        let table = e4_rounds(Scale::Smoke);
+        let table = e4_rounds(Scale::Smoke).expect("smoke parameters are valid");
         for row in &table.rows {
             let rounds: usize = row[1].parse().unwrap();
             assert!(rounds > 0);
@@ -613,7 +643,7 @@ mod tests {
 
     #[test]
     fn e5_smoke_includes_our_algorithm_and_baselines() {
-        let table = e5_baselines(Scale::Smoke);
+        let table = e5_baselines(Scale::Smoke).expect("smoke parameters are valid");
         let names: Vec<&str> = table.rows.iter().map(|r| r[0].as_str()).collect();
         assert!(names.iter().any(|n| n.contains("relaxed-greedy")));
         assert!(names.iter().any(|n| n.contains("gabriel")));
@@ -622,16 +652,16 @@ mod tests {
 
     #[test]
     fn remaining_smoke_tables_have_rows() {
-        assert!(!e6_alpha(Scale::Smoke).rows.is_empty());
-        assert!(!e7_energy(Scale::Smoke).rows.is_empty());
-        assert!(!e8_fault_tolerance(Scale::Smoke).rows.is_empty());
-        assert_eq!(f1_stretch_cdf(Scale::Smoke).rows.len(), 5);
-        assert!(!f2_rounds_series(Scale::Smoke).rows.is_empty());
+        assert!(!e6_alpha(Scale::Smoke).unwrap().rows.is_empty());
+        assert!(!e7_energy(Scale::Smoke).unwrap().rows.is_empty());
+        assert!(!e8_fault_tolerance(Scale::Smoke).unwrap().rows.is_empty());
+        assert_eq!(f1_stretch_cdf(Scale::Smoke).unwrap().rows.len(), 5);
+        assert!(!f2_rounds_series(Scale::Smoke).unwrap().rows.is_empty());
     }
 
     #[test]
     fn e9_smoke_keeps_every_variant_within_the_stretch_target() {
-        let table = e9_ablation(Scale::Smoke);
+        let table = e9_ablation(Scale::Smoke).expect("smoke parameters are valid");
         assert_eq!(table.rows.len(), 5);
         for row in &table.rows {
             assert_eq!(row.last().unwrap(), "true", "row {row:?}");

@@ -25,11 +25,14 @@
 //! `cargo run -p tc-bench --release --bin experiments` regenerates every
 //! table; `cargo bench -p tc-bench` times the constructions behind them
 //! with Criterion.
+//!
+//! The experiment cells fan out over the shared scheduler in
+//! [`tc_graph::par`] (which started life in this crate); the `TC_THREADS`
+//! environment variable pins the worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
-pub mod parallel;
 pub mod table;
 pub mod workloads;

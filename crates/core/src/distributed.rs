@@ -41,7 +41,8 @@ use crate::seq_greedy::seq_greedy_on_subset;
 use crate::weighting::EdgeWeighting;
 use serde::{Deserialize, Serialize};
 use tc_geometry::Point;
-use tc_graph::{components, dijkstra, Edge, NodeId, WeightedGraph};
+use tc_graph::bucket::{BucketConfig, BucketScratch};
+use tc_graph::{components, Edge, NodeId, WeightedGraph};
 use tc_simnet::{log2_ceil, log_star, mis, CommStats, RoundLedger};
 use tc_ubg::UnitBallGraph;
 
@@ -283,8 +284,10 @@ impl DistributedRelaxedGreedy {
         // (x ~ y iff sp_{G'_{i-1}}(x, y) <= radius).
         let n = spanner.node_count();
         let mut j_graph = WeightedGraph::new(n);
+        let spanner_config = BucketConfig::for_graph(spanner);
+        let mut spanner_scratch = BucketScratch::new();
         for u in 0..n {
-            let dist = dijkstra::shortest_path_distances_bounded(spanner, u, radius);
+            let dist = spanner_scratch.distances_bounded(spanner, u, radius, &spanner_config);
             for (v, d) in dist.into_iter().enumerate() {
                 if v > u && d.is_some() {
                     j_graph.add_edge(u, v, 1.0);
@@ -325,10 +328,15 @@ impl DistributedRelaxedGreedy {
         ledger.charge_rounds(label("cluster-graph/gather"), cluster_graph_hops);
 
         // Step (iv): answer the spanner-path queries.
+        let h_config = BucketConfig::for_graph(&h);
+        let mut h_scratch = BucketScratch::new();
         let mut added: Vec<Edge> = Vec::new();
         for edge in &selection.query_edges {
             let budget = self.params.t * edge.weight;
-            if dijkstra::shortest_path_within(&h, edge.u, edge.v, budget).is_none() {
+            if h_scratch
+                .shortest_path_within(&h, edge.u, edge.v, budget, &h_config)
+                .is_none()
+            {
                 added.push(*edge);
             }
         }

@@ -8,7 +8,8 @@
 //! relaxed greedy algorithm computes a cover of the partial spanner
 //! `G'_{i-1}` with radius `δ·W_{i-1}`.
 
-use tc_graph::{dijkstra, NodeId, WeightedGraph};
+use tc_graph::bucket::{BucketConfig, BucketScratch};
+use tc_graph::{NodeId, WeightedGraph};
 
 /// A cluster cover with a unique cluster assignment per node.
 ///
@@ -39,13 +40,18 @@ impl ClusterCover {
         let mut centers = Vec::new();
         let mut cluster_of = vec![usize::MAX; n];
         let mut dist_to_center = vec![f64::INFINITY; n];
+        // One bucket config and scratch for the whole construction: the
+        // per-centre searches are radius-bounded, so reusing the arrays
+        // keeps each one O(nodes actually reached).
+        let config = BucketConfig::for_graph(graph);
+        let mut scratch = BucketScratch::new();
         for u in 0..n {
             if cluster_of[u] != usize::MAX {
                 continue;
             }
             let cluster_index = centers.len();
             centers.push(u);
-            let dist = dijkstra::shortest_path_distances_bounded(graph, u, radius);
+            let dist = scratch.distances_bounded(graph, u, radius, &config);
             for (v, d) in dist.into_iter().enumerate() {
                 if let Some(d) = d {
                     if cluster_of[v] == usize::MAX {
@@ -76,9 +82,11 @@ impl ClusterCover {
         let mut cluster_of = vec![usize::MAX; n];
         let mut dist_to_center = vec![f64::INFINITY; n];
         let mut best_center: Vec<Option<(NodeId, f64)>> = vec![None; n];
+        let config = BucketConfig::for_graph(graph);
+        let mut scratch = BucketScratch::new();
         for (idx, &c) in centers.iter().enumerate() {
             assert!(c < n, "cluster centre {c} is out of range");
-            let dist = dijkstra::shortest_path_distances_bounded(graph, c, radius);
+            let dist = scratch.distances_bounded(graph, c, radius, &config);
             for (v, d) in dist.into_iter().enumerate() {
                 if let Some(d) = d {
                     let better = match best_center[v] {
@@ -165,8 +173,10 @@ impl ClusterCover {
                 return false;
             }
         }
+        let config = BucketConfig::for_graph(graph);
+        let mut scratch = BucketScratch::new();
         for (i, &a) in self.centers.iter().enumerate() {
-            let dist = dijkstra::shortest_path_distances_bounded(graph, a, self.radius);
+            let dist = scratch.distances_bounded(graph, a, self.radius, &config);
             for &b in &self.centers[i + 1..] {
                 if let Some(d) = dist[b] {
                     if d <= self.radius {

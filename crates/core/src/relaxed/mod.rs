@@ -41,7 +41,8 @@ use crate::seq_greedy::seq_greedy_on_subset;
 use crate::weighting::EdgeWeighting;
 use serde::{Deserialize, Serialize};
 use tc_geometry::Point;
-use tc_graph::{components, dijkstra, Edge, WeightedGraph};
+use tc_graph::bucket::{BucketConfig, BucketScratch};
+use tc_graph::{components, Edge, WeightedGraph};
 use tc_ubg::UnitBallGraph;
 
 /// Per-phase statistics of a relaxed-greedy run.
@@ -257,11 +258,17 @@ impl RelaxedGreedy {
         // Step (iii): cluster graph H_{i-1}.
         let (h, _h_stats) = build_cluster_graph(spanner, &cover, w_prev, self.params.delta);
 
-        // Step (iv): answer the spanner-path queries on H_{i-1}.
+        // Step (iv): answer the spanner-path queries on H_{i-1}, one
+        // budgeted bucket search per query on a shared scratch.
+        let h_config = BucketConfig::for_graph(&h);
+        let mut h_scratch = BucketScratch::new();
         let mut added: Vec<Edge> = Vec::new();
         for edge in &selection.query_edges {
             let budget = self.params.t * edge.weight;
-            if dijkstra::shortest_path_within(&h, edge.u, edge.v, budget).is_none() {
+            if h_scratch
+                .shortest_path_within(&h, edge.u, edge.v, budget, &h_config)
+                .is_none()
+            {
                 added.push(*edge);
             }
         }

@@ -16,7 +16,8 @@
 //! guarantees each deleted edge retains at least one surviving partner,
 //! which is what the stretch argument needs.
 
-use tc_graph::{dijkstra, mis, Edge, NodeId, WeightedGraph};
+use tc_graph::bucket::{BucketConfig, BucketScratch};
+use tc_graph::{mis, Edge, NodeId, WeightedGraph};
 
 /// The conflict structure among the edges added in one phase.
 #[derive(Debug, Clone)]
@@ -55,9 +56,11 @@ pub fn analyze_redundancy(added: &[Edge], h: &WeightedGraph, t1: f64) -> Redunda
     let mut endpoints: Vec<NodeId> = added.iter().flat_map(|e| [e.u, e.v]).collect();
     endpoints.sort_unstable();
     endpoints.dedup();
+    let config = BucketConfig::for_graph(h);
+    let mut scratch = BucketScratch::new();
     let dist_of: std::collections::HashMap<NodeId, Vec<Option<f64>>> = endpoints
         .iter()
-        .map(|&x| (x, dijkstra::shortest_path_distances_bounded(h, x, budget)))
+        .map(|&x| (x, scratch.distances_bounded(h, x, budget, &config)))
         .collect();
     let sp = |x: NodeId, y: NodeId| -> f64 {
         dist_of.get(&x).and_then(|d| d[y]).unwrap_or(f64::INFINITY)

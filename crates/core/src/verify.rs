@@ -22,12 +22,21 @@ use tc_graph::{properties, CsrGraph, Edge, WeightedGraph};
 pub struct VerificationReport {
     /// The stretch target that was verified against.
     pub t: f64,
-    /// Measured stretch factor.
+    /// Measured stretch factor over the base edges whose endpoints the
+    /// spanner connects. Always finite — the vendored `serde_json` writes
+    /// non-finite floats as `null`, so an infinite stretch would silently
+    /// degrade experiment output; disconnection is reported separately in
+    /// [`Self::disconnected_pairs`].
     pub stretch: f64,
-    /// Whether every input edge meets the stretch target.
+    /// Number of base edges whose endpoints the spanner disconnects
+    /// (each is an unconditional stretch violation; 0 for any spanner).
+    pub disconnected_pairs: usize,
+    /// Whether every input edge meets the stretch target: no finite
+    /// violation and no disconnected pair.
     pub stretch_ok: bool,
-    /// Edges of the base graph that violate the stretch target, with their
-    /// measured stretch (empty when `stretch_ok`).
+    /// Edges of the base graph with a *finite* stretch above the target,
+    /// with their measured stretch. Disconnected pairs are counted in
+    /// [`Self::disconnected_pairs`] instead of listed here.
     pub violations: Vec<(usize, usize, f64)>,
     /// Maximum degree of the spanner.
     pub max_degree: usize,
@@ -42,9 +51,11 @@ pub struct VerificationReport {
 /// Verifies the stretch/degree/weight properties of `spanner` with respect
 /// to `base` and stretch target `t`.
 ///
-/// The stretch check runs one Dijkstra per edge source of `base`; both
-/// graphs are snapshotted once into [`CsrGraph`] so that hot loop runs on
-/// the flat representation (see `docs/PERFORMANCE.md`).
+/// The stretch check runs one bounded bucket search per edge source of
+/// `base`, fanned out across worker threads (`TC_THREADS` override; the
+/// report is byte-identical for every thread count); both graphs are
+/// snapshotted once into [`CsrGraph`] so that hot loop runs on the flat
+/// representation (see `docs/PERFORMANCE.md`).
 pub fn verify_spanner(base: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> VerificationReport {
     assert!(t >= 1.0, "the stretch target must be at least 1");
     let base_csr = CsrGraph::from(base);
@@ -53,7 +64,12 @@ pub fn verify_spanner(base: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> 
     let tolerance = 1e-9;
     let mut violations = Vec::new();
     let mut worst: f64 = 1.0;
+    let mut disconnected_pairs = 0;
     for es in &per_edge {
+        if !es.stretch.is_finite() {
+            disconnected_pairs += 1;
+            continue;
+        }
         worst = worst.max(es.stretch);
         if es.stretch > t + tolerance {
             violations.push((es.edge.u, es.edge.v, es.stretch));
@@ -62,7 +78,8 @@ pub fn verify_spanner(base: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> 
     VerificationReport {
         t,
         stretch: worst,
-        stretch_ok: violations.is_empty(),
+        disconnected_pairs,
+        stretch_ok: violations.is_empty() && disconnected_pairs == 0,
         violations,
         max_degree: spanner.max_degree(),
         weight_ratio: properties::weight_ratio(&base_csr, &spanner_csr),
@@ -161,8 +178,35 @@ mod tests {
         });
         let report = verify_spanner(ubg.graph(), &broken, params.t);
         assert!(!report.stretch_ok);
-        assert!(!report.violations.is_empty());
-        assert!(report.stretch > params.t);
+        // Every failure is either a finite violation or a disconnection —
+        // both must be visible in the report.
+        assert!(
+            !report.violations.is_empty() || report.disconnected_pairs > 0,
+            "a broken spanner must surface its failures"
+        );
+        assert!(report.stretch > params.t || report.disconnected_pairs > 0);
+        assert!(report.stretch.is_finite());
+    }
+
+    #[test]
+    fn disconnection_is_reported_explicitly_and_serializes_finite() {
+        let (ubg, result, params) = sample_instance();
+        // Sabotage: isolate node 0 entirely — every base edge at node 0
+        // becomes a disconnected pair.
+        let broken = result.spanner.filter_edges(|e| !e.touches(0));
+        let report = verify_spanner(ubg.graph(), &broken, params.t);
+        assert!(!report.stretch_ok);
+        assert!(report.disconnected_pairs > 0);
+        assert_eq!(report.disconnected_pairs, ubg.graph().degree(0));
+        // The finite stretch plus the explicit count round-trip through
+        // JSON; before this field existed the report serialized stretch as
+        // `null` (the vendored serde_json cannot represent infinities).
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert!(
+            !json.contains("null"),
+            "verification output degraded to null: {json}"
+        );
+        assert!(json.contains("\"disconnected_pairs\""));
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * [`dijkstra`] — single-source shortest paths, with the bounded-radius
 //!   and early-exit variants the algorithm needs (cluster covers of radius
 //!   `δ·W_{i-1}`, spanner-path queries `sp(u,v) ≤ t·|uv|`),
+//! * [`bucket`] — the bucket-queue (delta-stepping-style) fast path for the
+//!   same query shapes, with reusable per-worker scratch; distances are
+//!   bitwise identical to the [`dijkstra`] oracle,
+//! * [`par`] — the work-sharing scheduler for embarrassingly parallel
+//!   sweeps (deterministic output order, `TC_THREADS` override),
 //! * [`bfs`] — hop-distance searches and k-hop neighbourhoods (the
 //!   distributed algorithm gathers information from `O(1)` hops),
 //! * [`components`] / [`UnionFind`] — connected components (processing of
@@ -47,6 +52,7 @@
 #![deny(missing_docs)]
 
 pub mod bfs;
+pub mod bucket;
 pub mod components;
 mod csr;
 pub mod dijkstra;
@@ -55,6 +61,7 @@ mod graph;
 pub mod mis;
 pub mod mst;
 mod ordered;
+pub mod par;
 pub mod properties;
 mod union_find;
 mod view;

@@ -1,0 +1,289 @@
+//! A small work-sharing scheduler for the embarrassingly parallel sweeps.
+//!
+//! The verification and measurement layers repeat one independent
+//! computation per source node (one Dijkstra per edge source, one
+//! experiment cell per table row). This module runs those sweeps on a
+//! fixed pool of scoped worker threads:
+//!
+//! * **Dynamic load balancing** — workers claim the next unclaimed index
+//!   from a shared atomic counter (or pop the next boxed job from a shared
+//!   queue), so an expensive item never leaves the other workers idle.
+//! * **Deterministic results** — every result carries the index of the
+//!   item that produced it, and the merged output is returned in input
+//!   order. The output of a parallel sweep is byte-identical to the
+//!   sequential one, whatever the thread count.
+//! * **`TC_THREADS` override** — setting the environment variable
+//!   `TC_THREADS=<k>` pins every pool in the process to `k` workers
+//!   (`TC_THREADS=1` recovers fully sequential execution; CI runs the
+//!   suite both pinned and unpinned).
+//! * **Structured panic propagation** — if a job panics, the panic payload
+//!   is re-raised on the calling thread via [`std::panic::resume_unwind`]
+//!   after the remaining workers have drained; no partial results escape.
+//! * **Worker-local scratch** — [`par_map_with`] hands every worker a
+//!   scratch value created once per worker (not once per item), which is
+//!   what lets the bucket Dijkstra in [`crate::bucket`] reuse its arrays
+//!   across the sources one worker processes.
+//!
+//! The module lives in `tc-graph` (rather than the bench crate where the
+//! first version of [`run_jobs`] grew) so the graph algorithms themselves
+//! can use it; see `docs/PERFORMANCE.md` for the threading contract.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Name of the environment variable that pins the worker-thread count.
+pub const THREADS_ENV: &str = "TC_THREADS";
+
+/// Resolves the worker-thread count for a parallel region.
+///
+/// Priority order:
+///
+/// 1. `TC_THREADS` from the environment, when set and at least 1;
+/// 2. `requested`, when non-zero (callers that let the user configure a
+///    pool size pass it here);
+/// 3. [`std::thread::available_parallelism`], falling back to 1.
+///
+/// The thread count never affects results — only wall-clock time — so the
+/// override is a performance/debugging knob, not a correctness switch.
+pub fn thread_count(requested: usize) -> usize {
+    if let Some(k) = env_threads() {
+        return k;
+    }
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var(THREADS_ENV).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    trimmed.parse::<usize>().ok().filter(|&k| k >= 1)
+}
+
+/// Runs the given closures, each producing one result, on up to
+/// `max_threads` worker threads (subject to the [`THREADS_ENV`] override),
+/// and returns the results in input order.
+///
+/// No worker threads are spawned when `jobs` is empty or when the
+/// effective thread count is 1 (the jobs then run inline, in order). A
+/// panicking job is re-raised on the caller once the pool has drained.
+pub fn run_jobs<T, F>(jobs: Vec<F>, max_threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let total = jobs.len();
+    let threads = thread_count(max_threads).min(total);
+    if threads <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    // Workers pop the next job from the front of a shared queue (stored
+    // reversed so `pop` is O(1)) and collect `(index, result)` pairs
+    // locally; the pairs are merged back into input order at the end.
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let parts = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let next = queue.lock().unwrap_or_else(PoisonError::into_inner).pop();
+                        match next {
+                            Some((index, job)) => local.push((index, job())),
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        join_all(handles)
+    });
+    merge_indexed(parts, total)
+}
+
+/// Applies `work` to every item of `items` on up to `max_threads` worker
+/// threads, handing each worker one scratch value built by `init`, and
+/// returns the results in input order.
+///
+/// `work` receives `(scratch, index, item)`. The scratch value is created
+/// once per *worker*, not once per item — reuse it for allocations that
+/// would otherwise be paid per item (distance arrays, bucket rings). The
+/// result sequence is identical to
+/// `items.iter().enumerate().map(|(i, x)| work(&mut init(), i, x))`
+/// regardless of the thread count.
+pub fn par_map_with<T, S, R, I, W>(items: &[T], max_threads: usize, init: I, work: W) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let total = items.len();
+    let threads = thread_count(max_threads).min(total);
+    if threads <= 1 {
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| work(&mut scratch, i, item))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let parts = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= total {
+                            break;
+                        }
+                        local.push((index, work(&mut scratch, index, &items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        join_all(handles)
+    });
+    merge_indexed(parts, total)
+}
+
+/// Joins every worker, re-raising the first panic payload (by worker
+/// index) on the caller after the scope has drained the remaining workers.
+fn join_all<T>(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Vec<(usize, T)>>>,
+) -> Vec<(usize, T)> {
+    let mut parts = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(mut local) => parts.append(&mut local),
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+    parts
+}
+
+/// Restores input order from `(index, result)` pairs. Every index in
+/// `0..total` is produced exactly once (each was claimed by exactly one
+/// worker), so after sorting the payloads can be extracted positionally.
+fn merge_indexed<T>(mut parts: Vec<(usize, T)>, total: usize) -> Vec<T> {
+    parts.sort_unstable_by_key(|&(index, _)| index);
+    assert_eq!(
+        parts.len(),
+        total,
+        "every claimed index must produce exactly one result"
+    );
+    parts.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed_jobs(n: usize) -> Vec<Box<dyn FnOnce() -> usize + Send>> {
+        (0..n)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect()
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let results = run_jobs(boxed_jobs(20), 4);
+        assert_eq!(results, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_thread_inputs_work() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![];
+        assert!(run_jobs(jobs, 1).is_empty());
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> =
+            vec![Box::new(|| 7u8) as Box<dyn FnOnce() -> u8 + Send>];
+        assert_eq!(run_jobs(jobs, 0), vec![7]);
+    }
+
+    #[test]
+    fn saturating_thread_counts_work() {
+        let results = run_jobs(boxed_jobs(3), 64);
+        assert_eq!(results, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn par_map_with_matches_sequential_for_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 128] {
+            let got = par_map_with(&items, threads, || 0u64, |_, _, &x| x * x + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_scratch() {
+        // Each worker's scratch counts how many items it processed; the sum
+        // over workers must equal the item count even though workers claim
+        // dynamically.
+        let items: Vec<usize> = (0..50).collect();
+        let counts = par_map_with(
+            &items,
+            4,
+            || 0usize,
+            |seen, _, &x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        assert_eq!(counts.len(), 50);
+        // Scratch counters are per worker, so each starts at 1 and every
+        // item gets a positive counter value.
+        assert!(counts.iter().all(|&(_, c)| c >= 1));
+        // Values are in input order regardless of which worker ran them.
+        let xs: Vec<usize> = counts.iter().map(|&(x, _)| x).collect();
+        assert_eq!(xs, items);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 5 {
+                        panic!("job five exploded");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_jobs(jobs, 4)))
+            .expect_err("a panicking job must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn thread_count_prefers_request_over_detection() {
+        // Skip when the environment pins the count (e.g. a TC_THREADS=1 CI
+        // run) — the override must win.
+        if std::env::var(THREADS_ENV).is_ok() {
+            assert_eq!(thread_count(3), thread_count(7));
+            return;
+        }
+        assert_eq!(thread_count(3), 3);
+        assert!(thread_count(0) >= 1);
+    }
+}

@@ -8,7 +8,8 @@
 //! * **Degree** (Theorem 11): the maximum degree of `G'`.
 //! * **Weight** (Theorem 13): `w(G') / w(MST(G))`.
 
-use crate::{dijkstra, mst, Edge, GraphView};
+use crate::bucket::{BucketConfig, BucketScratch};
+use crate::{dijkstra, mst, par, Edge, GraphView};
 use serde::{Deserialize, Serialize};
 
 /// Degree statistics of a graph.
@@ -39,14 +40,90 @@ pub struct EdgeStretch {
     pub stretch: f64,
 }
 
+/// The stretch value of one base edge given the subgraph shortest-path
+/// distance between its endpoints (`f64::INFINITY` when disconnected).
+fn stretch_of(weight: f64, sp: f64) -> f64 {
+    if weight == 0.0 {
+        if sp == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        sp / weight
+    }
+}
+
 /// Per-edge stretch of `subgraph` with respect to every edge of `base`.
 ///
-/// Runs one Dijkstra per distinct edge source, so the cost is
-/// `O(n · m log n)` in the worst case. This is the hottest loop of the
-/// verification layer: hand it [`CsrGraph`](crate::CsrGraph) views (the
-/// `subgraph` especially — that is what the Dijkstras traverse) when
-/// measuring anything beyond toy sizes.
-pub fn edge_stretches<B: GraphView, S: GraphView>(base: &B, subgraph: &S) -> Vec<EdgeStretch> {
+/// This is the hottest loop of the verification layer. It runs one
+/// target-directed bucket search ([`crate::bucket`]) per distinct edge
+/// source — stopping as soon as that source's base-graph neighbors are
+/// settled — and fans the sources out across worker threads
+/// ([`crate::par`], honoring the `TC_THREADS` override). Hand it
+/// [`CsrGraph`](crate::CsrGraph) views (the `subgraph` especially — that is
+/// what the searches traverse) when measuring anything beyond toy sizes.
+///
+/// The output is byte-identical to [`edge_stretches_seq`] — same order,
+/// bitwise-equal stretch values — whatever the thread count; property tests
+/// below enforce this.
+pub fn edge_stretches<B, S>(base: &B, subgraph: &S) -> Vec<EdgeStretch>
+where
+    B: GraphView,
+    S: GraphView + Sync,
+{
+    edge_stretches_with_threads(base, subgraph, 0)
+}
+
+/// [`edge_stretches`] with an explicit worker-thread request (`0` defers to
+/// `TC_THREADS` / the detected parallelism; see
+/// [`par::thread_count`]).
+pub fn edge_stretches_with_threads<B, S>(base: &B, subgraph: &S, threads: usize) -> Vec<EdgeStretch>
+where
+    B: GraphView,
+    S: GraphView + Sync,
+{
+    assert_eq!(
+        base.node_count(),
+        subgraph.node_count(),
+        "base and subgraph must share a vertex set"
+    );
+    let mut by_source: Vec<Vec<Edge>> = vec![Vec::new(); base.node_count()];
+    base.for_each_edge(|e| by_source[e.u].push(e));
+    let groups: Vec<(usize, Vec<Edge>)> = by_source
+        .into_iter()
+        .enumerate()
+        .filter(|(_, edges)| !edges.is_empty())
+        .collect();
+    let config = BucketConfig::for_graph(subgraph);
+    let per_source: Vec<Vec<EdgeStretch>> = par::par_map_with(
+        &groups,
+        threads,
+        || (BucketScratch::new(), Vec::new(), Vec::new()),
+        |state, _, group| {
+            let (scratch, targets, dists) = state;
+            let (source, edges) = group;
+            targets.clear();
+            targets.extend(edges.iter().map(|e| e.v));
+            scratch.distances_to_targets(subgraph, *source, targets, &config, dists);
+            edges
+                .iter()
+                .zip(dists.iter())
+                .map(|(&edge, &sp)| EdgeStretch {
+                    edge,
+                    stretch: stretch_of(edge.weight, sp),
+                })
+                .collect()
+        },
+    );
+    per_source.into_iter().flatten().collect()
+}
+
+/// Sequential reference implementation of [`edge_stretches`]: one full
+/// binary-heap Dijkstra ([`crate::dijkstra`]) per distinct edge source,
+/// `O(n · m log n)` worst case. Kept as the oracle the fast path is tested
+/// against; prefer [`edge_stretches`] everywhere else.
+pub fn edge_stretches_seq<B: GraphView, S: GraphView>(base: &B, subgraph: &S) -> Vec<EdgeStretch> {
     assert_eq!(
         base.node_count(),
         subgraph.node_count(),
@@ -62,28 +139,81 @@ pub fn edge_stretches<B: GraphView, S: GraphView>(base: &B, subgraph: &S) -> Vec
         let dist = dijkstra::shortest_path_distances(subgraph, source);
         for &e in edges {
             let sp = dist[e.v].unwrap_or(f64::INFINITY);
-            let stretch = if e.weight == 0.0 {
-                if sp == 0.0 {
-                    1.0
-                } else {
-                    f64::INFINITY
-                }
-            } else {
-                sp / e.weight
-            };
-            out.push(EdgeStretch { edge: e, stretch });
+            out.push(EdgeStretch {
+                edge: e,
+                stretch: stretch_of(e.weight, sp),
+            });
         }
     }
     out
 }
 
 /// The maximum stretch of `subgraph` over all edges of `base`
-/// (1.0 for an edgeless base graph).
-pub fn stretch_factor<B: GraphView, S: GraphView>(base: &B, subgraph: &S) -> f64 {
+/// (1.0 for an edgeless base graph; `f64::INFINITY` when the subgraph
+/// disconnects any base edge's endpoints — use [`stretch_summary`] when the
+/// value must stay finite, e.g. for serialization).
+pub fn stretch_factor<B, S>(base: &B, subgraph: &S) -> f64
+where
+    B: GraphView,
+    S: GraphView + Sync,
+{
     edge_stretches(base, subgraph)
         .into_iter()
         .map(|s| s.stretch)
         .fold(1.0_f64, f64::max)
+}
+
+/// Stretch measurement split into a finite maximum and an explicit
+/// disconnection count, so reports stay representable in JSON (the vendored
+/// `serde_json` writes non-finite floats as `null`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct StretchSummary {
+    /// Maximum stretch over the base edges whose endpoints the subgraph
+    /// connects (1.0 when there are none). Always finite.
+    pub max_stretch: f64,
+    /// Number of base edges whose stretch is infinite: the subgraph
+    /// disconnects the endpoints (or stretches a zero-weight edge by a
+    /// positive amount).
+    pub disconnected_pairs: usize,
+}
+
+impl StretchSummary {
+    /// Folds per-edge stretches into the summary.
+    pub fn from_stretches(stretches: &[EdgeStretch]) -> Self {
+        let mut max_stretch = 1.0_f64;
+        let mut disconnected_pairs = 0;
+        for s in stretches {
+            if s.stretch.is_finite() {
+                max_stretch = max_stretch.max(s.stretch);
+            } else {
+                disconnected_pairs += 1;
+            }
+        }
+        StretchSummary {
+            max_stretch,
+            disconnected_pairs,
+        }
+    }
+
+    /// The classical stretch factor: [`Self::max_stretch`] when every pair
+    /// is connected, `f64::INFINITY` otherwise.
+    pub fn stretch_factor(&self) -> f64 {
+        if self.disconnected_pairs == 0 {
+            self.max_stretch
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Measures the stretch of `subgraph` relative to `base` as a
+/// [`StretchSummary`] (finite maximum plus disconnection count).
+pub fn stretch_summary<B, S>(base: &B, subgraph: &S) -> StretchSummary
+where
+    B: GraphView,
+    S: GraphView + Sync,
+{
+    StretchSummary::from_stretches(&edge_stretches(base, subgraph))
 }
 
 /// Ratio `w(subgraph) / w(MST(base))`; `f64::INFINITY` if the base MST has
@@ -112,8 +242,13 @@ pub struct SpannerReport {
     pub base_edges: usize,
     /// Number of edges kept by the subgraph.
     pub spanner_edges: usize,
-    /// Measured stretch factor.
+    /// Measured stretch factor over the *connected* base edges — always
+    /// finite so the report serializes faithfully; check
+    /// [`Self::disconnected_pairs`] for coverage.
     pub stretch: f64,
+    /// Number of base edges whose endpoints the subgraph disconnects
+    /// (0 for any valid spanner).
+    pub disconnected_pairs: usize,
     /// Maximum degree of the subgraph.
     pub max_degree: usize,
     /// Mean degree of the subgraph.
@@ -127,13 +262,19 @@ pub struct SpannerReport {
 }
 
 /// Measures every property of `subgraph` relative to `base` in one pass.
-pub fn spanner_report<B: GraphView, S: GraphView>(base: &B, subgraph: &S) -> SpannerReport {
+pub fn spanner_report<B, S>(base: &B, subgraph: &S) -> SpannerReport
+where
+    B: GraphView,
+    S: GraphView + Sync,
+{
     let deg = degree_stats(subgraph);
+    let stretch = stretch_summary(base, subgraph);
     SpannerReport {
         nodes: base.node_count(),
         base_edges: base.edge_count(),
         spanner_edges: subgraph.edge_count(),
-        stretch: stretch_factor(base, subgraph),
+        stretch: stretch.max_stretch,
+        disconnected_pairs: stretch.disconnected_pairs,
         max_degree: deg.max,
         mean_degree: deg.mean,
         weight: subgraph.total_weight(),
@@ -251,5 +392,96 @@ mod tests {
         let g = square_with_diagonals();
         let h = WeightedGraph::new(3);
         let _ = stretch_factor(&g, &h);
+    }
+
+    #[test]
+    fn summary_splits_finite_and_disconnected() {
+        let g = square_with_diagonals();
+        let sub = g.filter_edges(|e| !e.touches(3));
+        let summary = stretch_summary(&g, &sub);
+        assert!(summary.max_stretch.is_finite());
+        assert_eq!(summary.disconnected_pairs, 3);
+        assert!(summary.stretch_factor().is_infinite());
+        let whole = stretch_summary(&g, &g);
+        assert_eq!(whole.disconnected_pairs, 0);
+        assert_eq!(
+            whole.stretch_factor().to_bits(),
+            whole.max_stretch.to_bits()
+        );
+    }
+
+    #[test]
+    fn report_stretch_stays_finite_under_disconnection() {
+        let g = square_with_diagonals();
+        let sub = g.filter_edges(|e| !e.touches(3));
+        let report = spanner_report(&g, &sub);
+        assert!(report.stretch.is_finite());
+        assert_eq!(report.disconnected_pairs, 3);
+    }
+
+    fn assert_stretches_bitwise_equal(a: &[EdgeStretch], b: &[EdgeStretch]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.edge, y.edge, "edge order must match");
+            assert_eq!(
+                x.stretch.to_bits(),
+                y.stretch.to_bits(),
+                "stretch of {:?}: {} vs {}",
+                x.edge,
+                x.stretch,
+                y.stretch
+            );
+        }
+    }
+
+    fn random_graph(seed: u64, n: usize, p: f64) -> WeightedGraph {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    let w = if rng.gen_bool(0.05) {
+                        0.0
+                    } else {
+                        rng.gen_range(0.01..2.0)
+                    };
+                    g.add_edge(u, v, w);
+                }
+            }
+        }
+        g
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// The parallel bucket sweep is byte-identical to the sequential
+        /// heap oracle — same edge order, bitwise-equal stretches — for
+        /// every thread count, on random graphs with zero-weight edges and
+        /// disconnected subgraphs.
+        #[test]
+        fn parallel_bucket_matches_sequential_heap(
+            seed in 0u64..500,
+            n in 2usize..24,
+            p in 0.05f64..0.5,
+            keep in 0.3f64..1.0,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let g = random_graph(seed, n, p);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed);
+            let sub = g.filter_edges(|_| rng.gen_bool(keep));
+            let (gc, subc) = (CsrGraph::from(&g), CsrGraph::from(&sub));
+            let oracle = edge_stretches_seq(&gc, &subc);
+            for threads in [1, 2, 4] {
+                let fast = edge_stretches_with_threads(&gc, &subc, threads);
+                assert_stretches_bitwise_equal(&fast, &oracle);
+            }
+            let summary = StretchSummary::from_stretches(&oracle);
+            proptest::prelude::prop_assert_eq!(
+                stretch_factor(&gc, &subc).to_bits(),
+                summary.stretch_factor().to_bits()
+            );
+        }
     }
 }

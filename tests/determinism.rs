@@ -72,3 +72,47 @@ fn different_seeds_give_different_networks() {
     let b = deploy(2, 120, 0.8);
     assert_ne!(edge_bytes(a.graph()), edge_bytes(b.graph()));
 }
+
+/// The verification sweep fans out across worker threads; its output must
+/// be byte-identical whatever `TC_THREADS` says. This is the only test in
+/// the whole suite that mutates the environment variable (integration
+/// tests run as their own process, and this binary runs this test
+/// single-threadedly with respect to the variable — every other test here
+/// ignores it), so the set/remove below cannot race another reader that
+/// cares.
+#[test]
+fn verify_spanner_is_byte_identical_across_thread_counts() {
+    let ubg = deploy(42, 150, 0.9);
+    let result = build_spanner(&ubg, 0.5).unwrap();
+    let t = result.params.t;
+
+    let report_bytes = || {
+        let report = verify_spanner(ubg.graph(), &result.spanner, t);
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            report.stretch.to_bits(),
+            report.stretch_ok,
+            report.disconnected_pairs,
+            report
+                .violations
+                .iter()
+                .map(|&(u, v, s)| (u, v, s.to_bits()))
+                .collect::<Vec<_>>()
+        )
+    };
+
+    let max = std::thread::available_parallelism().map_or(4, usize::from);
+    let mut outputs = Vec::new();
+    for threads in [1, 2, max] {
+        std::env::set_var("TC_THREADS", threads.to_string());
+        outputs.push((threads, report_bytes()));
+    }
+    std::env::remove_var("TC_THREADS");
+    let (_, reference) = &outputs[0];
+    for (threads, out) in &outputs {
+        assert_eq!(
+            out, reference,
+            "verification output diverged at TC_THREADS={threads}"
+        );
+    }
+}
