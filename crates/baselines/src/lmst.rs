@@ -27,10 +27,12 @@ pub fn lmst(ubg: &UnitBallGraph) -> WeightedGraph {
         // Closed 1-hop neighbourhood of u, as a local subgraph.
         let (local, members) = bfs::k_hop_subgraph(&graph, u, 1);
         let forest = mst::kruskal(&local);
-        let local_u = members
-            .iter()
-            .position(|&m| m == u)
-            .expect("u belongs to its own neighbourhood");
+        let Some(local_u) = members.iter().position(|&m| m == u) else {
+            // k_hop_subgraph always includes its source; nothing local to
+            // mark if that invariant ever breaks.
+            debug_assert!(false, "u belongs to its own neighbourhood");
+            continue;
+        };
         for e in &forest.edges {
             if e.u == local_u || e.v == local_u {
                 let a = members[e.u];

@@ -224,10 +224,9 @@ pub fn run_ablation_on(
         let mut added: Vec<Edge> = Vec::new();
         for edge in &query_edges {
             let budget = params.t * edge.weight;
-            let query_graph: &WeightedGraph = if config.cluster_graph_queries {
-                h.as_ref().expect("built above")
-            } else {
-                &spanner
+            let query_graph: &WeightedGraph = match (config.cluster_graph_queries, &h) {
+                (true, Some(h_ref)) => h_ref,
+                _ => &spanner,
             };
             if dijkstra::shortest_path_within(query_graph, edge.u, edge.v, budget).is_none() {
                 added.push(*edge);
@@ -238,11 +237,9 @@ pub fn run_ablation_on(
         }
 
         // Redundancy removal.
-        let removals = if config.redundancy_removal {
-            let h_ref = h.as_ref().expect("built above");
-            sequential_redundant_removals(&added, h_ref, params.t1)
-        } else {
-            Vec::new()
+        let removals = match (config.redundancy_removal, &h) {
+            (true, Some(h_ref)) => sequential_redundant_removals(&added, h_ref, params.t1),
+            _ => Vec::new(),
         };
         for &idx in &removals {
             let e = added[idx];

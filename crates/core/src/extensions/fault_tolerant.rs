@@ -57,8 +57,10 @@ fn disjoint_short_paths(
         let tree = dijkstra::shortest_path_tree(&work, u);
         match tree.dist[v] {
             Some(d) if d <= budget + 1e-12 => {
+                // A finite distance implies a path; bail out rather than
+                // panic if the tree ever disagrees.
+                let Some(path) = tree.path_to(v) else { break };
                 found += 1;
-                let path = tree.path_to(v).expect("reachable node has a path");
                 for pair in path.windows(2) {
                     let _ = work.remove_edge(pair[0], pair[1]);
                 }

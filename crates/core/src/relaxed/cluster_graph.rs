@@ -60,10 +60,10 @@ pub fn build_cluster_graph(
     // each centre discovers every distance we might need.
     let reach = (2.0 * delta + 1.0) * w_prev;
     let centers = cover.centers();
-    let mut center_dist: Vec<Option<Vec<Option<f64>>>> = vec![None; centers.len()];
-    for (idx, &a) in centers.iter().enumerate() {
-        center_dist[idx] = Some(dijkstra::shortest_path_distances_bounded(spanner, a, reach));
-    }
+    let center_dist: Vec<Vec<Option<f64>>> = centers
+        .iter()
+        .map(|&a| dijkstra::shortest_path_distances_bounded(spanner, a, reach))
+        .collect();
     let add_inter = |h: &mut WeightedGraph,
                      stats: &mut ClusterGraphStats,
                      ca: usize,
@@ -78,7 +78,6 @@ pub fn build_cluster_graph(
 
     // Condition (i): centres within distance W_{i-1} of each other.
     for (ca, dist) in center_dist.iter().enumerate() {
-        let dist = dist.as_ref().expect("computed above");
         for cb in (ca + 1)..centers.len() {
             if let Some(d) = dist[centers[cb]] {
                 if d <= w_prev {
@@ -98,7 +97,7 @@ pub fn build_cluster_graph(
         if h.has_edge(a, b) {
             continue;
         }
-        let d = center_dist[ca].as_ref().expect("computed above")[b]
+        let d = center_dist[ca][b]
             // Lemma 5 guarantees the distance is within the bounded reach;
             // fall back to the triangle-inequality upper bound if a
             // floating-point boundary put it just outside.

@@ -205,6 +205,10 @@ impl RelaxedGreedy {
         let n = spanner.node_count();
         let g0 = WeightedGraph::from_edges(n, bin_edges.iter().copied());
         let mut added = 0;
+        // The sweep is over G_0 (short edges only), whose components are
+        // cliques of 1-hop neighbourhoods (Lemma 1) — global on a graph
+        // that is itself local, not on the input.
+        // tc-lint: allow(locality)
         for component in components::connected_components(&g0) {
             if component.len() < 2 {
                 continue;

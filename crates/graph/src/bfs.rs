@@ -27,16 +27,15 @@ pub fn hop_distances_bounded<G: GraphView>(
     assert!(source < graph.node_count(), "source node out of range");
     let mut dist = vec![None; graph.node_count()];
     dist[source] = Some(0);
-    let mut queue = VecDeque::from([source]);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u].expect("queued nodes have distances");
+    let mut queue = VecDeque::from([(source, 0usize)]);
+    while let Some((u, du)) = queue.pop_front() {
         if du == max_hops {
             continue;
         }
         graph.for_each_neighbor(u, |v, _| {
             if dist[v].is_none() {
                 dist[v] = Some(du + 1);
-                queue.push_back(v);
+                queue.push_back((v, du + 1));
             }
         });
     }

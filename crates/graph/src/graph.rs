@@ -129,8 +129,8 @@ impl WeightedGraph {
     /// Panics if an endpoint is out of range, if `u == v`, or if the weight
     /// is negative or not finite.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Option<f64> {
-        self.check_node(u).expect("edge endpoint out of range");
-        self.check_node(v).expect("edge endpoint out of range");
+        assert!(u < self.node_count(), "edge endpoint out of range");
+        assert!(v < self.node_count(), "edge endpoint out of range");
         assert_ne!(u, v, "self-loops are not allowed");
         assert!(
             weight >= 0.0 && weight.is_finite(),

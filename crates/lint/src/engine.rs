@@ -1,7 +1,15 @@
-//! The lint engine: per-file context, rule scoping and finding plumbing.
+//! The lint engine: per-file context, the workspace pipeline, rule scoping
+//! and finding plumbing.
+//!
+//! Local rules see one [`FileCtx`] at a time. The cross-file rules
+//! (`locality`, `scheduler-discipline`, `transitive-panic`) run after every
+//! file is lexed, over a [`WorkspaceCtx`] carrying the symbol table and
+//! call graph built from the full file set — see [`lint_files`].
 
-use crate::lexer::{self, Lexed, Token};
+use crate::callgraph::CallGraph;
+use crate::lexer::{self, Suppression, Token};
 use crate::rules;
+use crate::symbols::{FileInput, SymbolTable};
 
 /// One lint finding, addressed by repo-relative path and 1-based position.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -19,29 +27,40 @@ pub struct Finding {
     /// The trimmed source line the finding points at (used for baseline
     /// matching, which must survive unrelated line-number churn).
     pub snippet: String,
+    /// For cross-file findings: the call chain from the flagged site to the
+    /// definition that violates the property, e.g.
+    /// `helper -> deeper -> shortest_path_tree`.
+    pub call_path: Option<String>,
 }
 
 impl Finding {
     /// Renders the finding in the conventional `path:line:col: rule: message`
-    /// compiler format.
+    /// compiler format, with the call chain appended when present.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}:{}: {}: {}",
             self.path, self.line, self.col, self.rule, self.message
-        )
+        );
+        if let Some(chain) = &self.call_path {
+            out.push_str(&format!(" [call path: {chain}]"));
+        }
+        out
     }
 }
 
 /// Names of all rules, in the order they run and report.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 8] = [
     rules::DETERMINISM,
     rules::FLOAT_ORDERING,
     rules::CSR_BOUNDARY,
     rules::PANIC_HYGIENE,
     rules::PARALLEL_READY,
+    rules::LOCALITY,
+    rules::SCHEDULER_DISCIPLINE,
+    rules::TRANSITIVE_PANIC,
 ];
 
-/// Everything a rule needs to inspect one file.
+/// Everything a local rule needs to inspect one file.
 pub struct FileCtx<'a> {
     /// Repo-relative path with unix separators.
     pub path: &'a str,
@@ -109,40 +128,151 @@ impl FileCtx<'_> {
             rule,
             message,
             snippet,
+            call_path: None,
         }
     }
 }
 
-/// Lints one file's source text, applying inline suppressions but not the
-/// baseline (the baseline is a workspace-level concern; see
-/// [`crate::baseline`]). `rel_path` must use `/` separators because rule
-/// scoping is path-based.
+/// One fully lexed file in the workspace pipeline.
+pub struct FileData {
+    /// Repo-relative path with unix separators.
+    pub path: String,
+    /// The original source text.
+    pub source: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Inline `tc-lint: allow(..)` suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` modules.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl FileData {
+    /// Lexes one file and locates its test modules.
+    pub fn parse(path: &str, source: &str) -> FileData {
+        let lexed = lexer::lex(source);
+        let test_ranges = find_test_mod_ranges(&lexed.tokens);
+        FileData {
+            path: path.to_string(),
+            source: source.to_string(),
+            tokens: lexed.tokens,
+            suppressions: lexed.suppressions,
+            test_ranges,
+        }
+    }
+
+    /// True if `line` falls inside a `#[cfg(test)]` module.
+    pub fn in_test_mod(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&line))
+    }
+}
+
+/// Everything a cross-file rule needs: every file plus the symbol table and
+/// call graph built over them.
+pub struct WorkspaceCtx<'a> {
+    /// All lexed files; indices match [`SymbolTable`]/[`CallGraph`] file ids.
+    pub files: &'a [FileData],
+    /// The workspace symbol table.
+    pub symbols: &'a SymbolTable,
+    /// The workspace call graph.
+    pub calls: &'a CallGraph,
+}
+
+impl WorkspaceCtx<'_> {
+    /// Builds a finding at `(file, line, col)` with the snippet filled in.
+    pub fn finding(
+        &self,
+        file: usize,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        message: String,
+        call_path: Option<String>,
+    ) -> Finding {
+        let fd = &self.files[file];
+        let snippet = fd
+            .source
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+        Finding {
+            path: fd.path.clone(),
+            line,
+            col,
+            rule,
+            message,
+            snippet,
+            call_path,
+        }
+    }
+}
+
+/// Lints a set of files as one workspace: local rules per file, then the
+/// call-graph rules across the whole set, then inline suppressions (the
+/// baseline is applied separately; see [`crate::baseline`]). Paths must use
+/// `/` separators because rule scoping is path-based.
+pub fn lint_files(files: &[(String, String)], enabled: &[&str]) -> Vec<Finding> {
+    let data: Vec<FileData> = files
+        .iter()
+        .map(|(path, source)| FileData::parse(path, source))
+        .collect();
+
+    let mut findings = Vec::new();
+    for fd in &data {
+        let lines: Vec<&str> = fd.source.lines().collect();
+        let ctx = FileCtx {
+            path: &fd.path,
+            tokens: &fd.tokens,
+            lines: &lines,
+            test_ranges: &fd.test_ranges,
+        };
+        for &rule in enabled {
+            rules::run_rule(rule, &ctx, &mut findings);
+        }
+    }
+
+    if enabled.iter().any(|r| rules::CROSS_FILE_RULES.contains(r)) {
+        let inputs: Vec<FileInput<'_>> = data
+            .iter()
+            .map(|fd| FileInput {
+                path: &fd.path,
+                tokens: &fd.tokens,
+                test_ranges: &fd.test_ranges,
+            })
+            .collect();
+        let symbols = SymbolTable::build(&inputs);
+        let calls = CallGraph::build(&inputs, &symbols);
+        let ws = WorkspaceCtx {
+            files: &data,
+            symbols: &symbols,
+            calls: &calls,
+        };
+        rules::run_workspace_rules(&ws, enabled, &mut findings);
+    }
+
+    findings.retain(|f| {
+        let Some(fd) = data.iter().find(|fd| fd.path == f.path) else {
+            return true;
+        };
+        !fd.suppressions.iter().any(|s| s.covers(f.rule, f.line))
+    });
+    findings.sort();
+    findings
+}
+
+/// Lints one file's source text with every rule. Single-file analysis still
+/// runs the cross-file rules (over a one-file "workspace"), which is what
+/// the golden fixtures exercise.
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     lint_source_filtered(rel_path, source, &RULE_NAMES)
 }
 
 /// Like [`lint_source`], but only runs the rules named in `enabled`.
 pub fn lint_source_filtered(rel_path: &str, source: &str, enabled: &[&str]) -> Vec<Finding> {
-    let Lexed {
-        tokens,
-        suppressions,
-    } = lexer::lex(source);
-    let lines: Vec<&str> = source.lines().collect();
-    let test_ranges = find_test_mod_ranges(&tokens);
-    let ctx = FileCtx {
-        path: rel_path,
-        tokens: &tokens,
-        lines: &lines,
-        test_ranges: &test_ranges,
-    };
-
-    let mut findings = Vec::new();
-    for &rule in enabled {
-        rules::run_rule(rule, &ctx, &mut findings);
-    }
-    findings.retain(|f| !suppressions.iter().any(|s| s.covers(f.rule, f.line)));
-    findings.sort();
-    findings
+    lint_files(&[(rel_path.to_string(), source.to_string())], enabled)
 }
 
 /// Locates `#[cfg(test)] mod name { … }` regions so rules can exempt test
@@ -256,6 +386,47 @@ mod tests {
         assert!(
             findings.iter().all(|f| f.rule != "determinism"),
             "suppressed: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn suppressions_silence_cross_file_rules_too() {
+        let src = "fn force(x: Option<u32>) -> u32 {\n\
+                       // tc-lint: allow(panic-hygiene)\n\
+                       x.unwrap()\n\
+                   }\n\
+                   pub fn outer(x: Option<u32>) -> u32 {\n\
+                       // tc-lint: allow(transitive-panic)\n\
+                       force(x)\n\
+                   }\n";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert!(findings.is_empty(), "both layers suppressed: {findings:#?}");
+    }
+
+    #[test]
+    fn lint_files_spans_multiple_files() {
+        let files = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "pub fn must(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+            ),
+            (
+                "crates/b/src/lib.rs".to_string(),
+                "pub fn consume(x: Option<u32>) -> u32 { must(x) }\n".to_string(),
+            ),
+        ];
+        let findings = lint_files(&files, &RULE_NAMES);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "panic-hygiene" && f.path == "crates/a/src/lib.rs"),
+            "{findings:#?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "transitive-panic" && f.path == "crates/b/src/lib.rs"),
+            "cross-file propagation: {findings:#?}"
         );
     }
 }

@@ -136,7 +136,13 @@ fn main() -> ExitCode {
         .unwrap_or_else(|| root.join("lint-baseline.txt"));
 
     if opts.update_baseline {
-        let content = Baseline::render(&findings);
+        // Preserve the existing file's comment header so regeneration is
+        // byte-stable and never drops local policy notes.
+        let header = fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|existing| Baseline::extract_header(&existing))
+            .unwrap_or_else(|| tc_lint::baseline::DEFAULT_HEADER.to_string());
+        let content = Baseline::render_with_header(&header, &findings);
         if let Err(err) = fs::write(&baseline_path, content) {
             eprintln!("tc-lint: cannot write {}: {err}", baseline_path.display());
             return ExitCode::from(2);

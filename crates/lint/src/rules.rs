@@ -1,12 +1,17 @@
-//! The five repo-invariant rules.
+//! The repo-invariant rules.
 //!
-//! Each rule is a token-stream pattern matcher over [`FileCtx`]. They are
-//! deliberately heuristic: the goal is to catch the bug classes that have
-//! actually occurred in this repo (see docs/LINTS.md for the incident list),
-//! with inline `// tc-lint: allow(rule)` comments and the checked-in baseline
-//! covering the rare deliberate exceptions.
+//! The five local rules are token-stream pattern matchers over [`FileCtx`].
+//! The three cross-file rules (`locality`, `scheduler-discipline`,
+//! `transitive-panic`) run over a [`WorkspaceCtx`] — the symbol table and
+//! call graph built from every file — so they can follow a property through
+//! function calls. All are deliberately heuristic: the goal is to catch the
+//! bug classes that have actually occurred in this repo (see docs/LINTS.md
+//! for the incident list and the known imprecision of name-based call
+//! resolution), with inline `// tc-lint: allow(rule)` comments and the
+//! checked-in baseline covering the rare deliberate exceptions.
 
-use crate::engine::{FileCtx, Finding};
+use crate::engine::{FileCtx, Finding, WorkspaceCtx};
+use crate::lexer::{TokKind, Token};
 use std::collections::BTreeSet;
 
 /// Rule name: nondeterministic hash-container iteration.
@@ -19,6 +24,17 @@ pub const CSR_BOUNDARY: &str = "csr-boundary";
 pub const PANIC_HYGIENE: &str = "panic-hygiene";
 /// Rule name: constructs that block `Send`/`Sync` in core data structures.
 pub const PARALLEL_READY: &str = "parallel-ready";
+/// Rule name: distributed/relaxed phases reaching global graph APIs.
+pub const LOCALITY: &str = "locality";
+/// Rule name: scheduler closures capturing state, doing I/O, or folding in
+/// visit order.
+pub const SCHEDULER_DISCIPLINE: &str = "scheduler-discipline";
+/// Rule name: library calls into functions that (transitively) panic.
+pub const TRANSITIVE_PANIC: &str = "transitive-panic";
+
+/// The rules that need the workspace call graph (run via
+/// [`run_workspace_rules`], not [`run_rule`]).
+pub const CROSS_FILE_RULES: [&str; 3] = [LOCALITY, SCHEDULER_DISCIPLINE, TRANSITIVE_PANIC];
 
 /// One-line description per rule, for `--list-rules`.
 pub fn describe(rule: &str) -> &'static str {
@@ -43,11 +59,26 @@ pub fn describe(rule: &str) -> &'static str {
             "flags static mut, Rc, RefCell and other !Sync constructs in graph/geometry \
              crates slated for parallel sweeps"
         }
+        LOCALITY => {
+            "flags call paths from distributed.rs/relaxed/ to global graph APIs \
+             (full Dijkstra, components, all-pairs) and nested node-count loops; \
+             bounded-radius / target-directed / GridIndex queries only"
+        }
+        SCHEDULER_DISCIPLINE => {
+            "flags closures handed to run_jobs/par_map_with that write captured \
+             bindings, take locks, or (transitively) perform I/O; accumulate via \
+             returned values, merge in input order"
+        }
+        TRANSITIVE_PANIC => {
+            "flags library calls whose every resolution can panic (unwrap/expect/panic! \
+             reachable through the call graph); suppressed panic sites do not propagate"
+        }
         _ => "unknown rule",
     }
 }
 
-/// Dispatches one rule by name over a file context.
+/// Dispatches one local rule by name over a file context. Cross-file rule
+/// names are ignored here — they dispatch through [`run_workspace_rules`].
 pub fn run_rule(rule: &str, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     match rule {
         DETERMINISM => determinism(ctx, out),
@@ -59,6 +90,19 @@ pub fn run_rule(rule: &str, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// Runs every enabled cross-file rule over the workspace context.
+pub fn run_workspace_rules(ws: &WorkspaceCtx<'_>, enabled: &[&str], out: &mut Vec<Finding>) {
+    if enabled.contains(&LOCALITY) {
+        locality(ws, out);
+    }
+    if enabled.contains(&SCHEDULER_DISCIPLINE) {
+        scheduler_discipline(ws, out);
+    }
+    if enabled.contains(&TRANSITIVE_PANIC) {
+        transitive_panic(ws, out);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Path scoping helpers
 // ---------------------------------------------------------------------------
@@ -67,11 +111,11 @@ fn in_dir(path: &str, dir: &str) -> bool {
     path.starts_with(&format!("{dir}/")) || path.contains(&format!("/{dir}/"))
 }
 
-fn is_test_path(path: &str) -> bool {
+pub(crate) fn is_test_path(path: &str) -> bool {
     in_dir(path, "tests")
 }
 
-fn is_library_src(path: &str) -> bool {
+pub(crate) fn is_library_src(path: &str) -> bool {
     // `crates/<name>/src/**` or the root facade's `src/**`; binaries,
     // benches, examples and integration tests are exempt from panic hygiene.
     let in_src =
@@ -493,6 +537,846 @@ fn parallel_ready(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                 ),
             ));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared token-walk helpers for the cross-file rules
+// ---------------------------------------------------------------------------
+
+/// Renders one token for loop-bound keys (`g.node_count()` → "g.node_count()").
+fn tok_text(t: &Token) -> String {
+    match t.kind {
+        TokKind::Punct(c) => c.to_string(),
+        _ => t.text.clone(),
+    }
+}
+
+/// Given `toks[open]` is `o`, returns the index of the matching `c`.
+fn match_forward(toks: &[Token], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct(o) {
+            depth += 1;
+        } else if toks[i].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Net `(`/`[`/`{` depth change contributed by one token.
+fn depth_delta(t: &Token) -> i64 {
+    match t.kind {
+        TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => 1,
+        TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => -1,
+        _ => 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: locality
+// ---------------------------------------------------------------------------
+
+/// Files holding the paper's bounded-neighborhood construction phases; they
+/// may only reach the graph through bounded-radius, target-directed or
+/// `GridIndex` queries.
+fn in_locality_scope(path: &str) -> bool {
+    path == "crates/core/src/distributed.rs" || path.starts_with("crates/core/src/relaxed/")
+}
+
+/// Graph APIs whose cost is inherently global (full Dijkstra sweeps,
+/// whole-graph statistics, component labelling). A call *path* from scoped
+/// code to any of these breaks the locality guarantee.
+const GLOBAL_REACH_FNS: [&str; 19] = [
+    "all_pairs_shortest_paths",
+    "shortest_path_distances",
+    "shortest_path_tree",
+    "hop_distances",
+    "hop_eccentricity",
+    "edge_stretches",
+    "edge_stretches_seq",
+    "edge_stretches_with_threads",
+    "stretch_factor",
+    "spanner_report",
+    "verify_spanner",
+    "weight_ratio",
+    "mst_weight",
+    "kruskal",
+    "prim",
+    "connected_components",
+    "component_labels",
+    "component_count",
+    "is_connected",
+];
+
+fn locality(ws: &WorkspaceCtx<'_>, out: &mut Vec<Finding>) {
+    // Seeds: definitions that *call* a global-reach API directly (by name),
+    // unless that call is excused by an inline `allow(locality)`. Seeding on
+    // callers-of-the-name (rather than the API definitions themselves) also
+    // catches paths whose sink lives outside the linted file set.
+    // Sites vetted by an inline `allow(locality)` neither seed nor carry
+    // propagation: a justified global call must not taint its callers.
+    let mut blocked: BTreeSet<usize> = BTreeSet::new();
+    let mut seeds: Vec<(usize, Option<usize>)> = Vec::new();
+    for (site_idx, site) in ws.calls.sites().iter().enumerate() {
+        let fd = &ws.files[site.file];
+        if fd
+            .suppressions
+            .iter()
+            .any(|s| s.covers(LOCALITY, site.line))
+        {
+            blocked.insert(site_idx);
+            continue;
+        }
+        if !GLOBAL_REACH_FNS.contains(&site.callee.as_str()) || site.in_test {
+            continue;
+        }
+        if is_test_path(&fd.path) {
+            continue;
+        }
+        if let Some(caller) = site.caller {
+            if !seeds.iter().any(|&(id, _)| id == caller) {
+                seeds.push((caller, Some(site_idx)));
+            }
+        }
+    }
+    let reach = ws.calls.reach_any(ws.symbols, &seeds, &blocked);
+
+    for site in ws.calls.sites() {
+        let fd = &ws.files[site.file];
+        if !in_locality_scope(&fd.path) || site.in_test {
+            continue;
+        }
+        if GLOBAL_REACH_FNS.contains(&site.callee.as_str()) {
+            out.push(ws.finding(
+                site.file,
+                site.line,
+                site.col,
+                LOCALITY,
+                format!(
+                    "`{}` is a global graph API; the distributed/relaxed phases \
+                     must stay within bounded-hop neighborhoods — use \
+                     distances_bounded / distances_to_targets / \
+                     shortest_path_within / GridIndex queries, or justify with \
+                     `// tc-lint: allow(locality)`",
+                    site.callee
+                ),
+                None,
+            ));
+            continue;
+        }
+        let cands = ws.calls.resolve(ws.symbols, site);
+        if cands.iter().any(|&c| reach.reached(c)) {
+            let chain = reach.call_path(ws.calls, ws.symbols, site);
+            out.push(ws.finding(
+                site.file,
+                site.line,
+                site.col,
+                LOCALITY,
+                format!(
+                    "`{}` transitively reaches a global graph API from a \
+                     bounded-neighborhood phase; restructure onto bounded \
+                     queries or justify with `// tc-lint: allow(locality)`",
+                    site.callee
+                ),
+                Some(chain),
+            ));
+        }
+    }
+
+    for file_idx in 0..ws.files.len() {
+        if in_locality_scope(&ws.files[file_idx].path) {
+            nested_node_loops(ws, file_idx, out);
+        }
+    }
+}
+
+/// Flags `for … in ‥..N { … for … in ‥..N { … } }` where `N` is
+/// node-count-like (`g.node_count()` or an ident bound from one): a nested
+/// node×node loop is an all-pairs sweep whatever the body does.
+fn nested_node_loops(ws: &WorkspaceCtx<'_>, file_idx: usize, out: &mut Vec<Finding>) {
+    let fd = &ws.files[file_idx];
+    let toks = &fd.tokens;
+
+    // Idents bound from a `.node_count()` call in this file.
+    let mut node_idents: BTreeSet<String> = BTreeSet::new();
+    for i in 1..toks.len() {
+        if toks[i].ident() == Some("node_count") && toks[i - 1].is_punct('.') {
+            let mut k = i as i64 - 2;
+            let mut hops = 0;
+            while k >= 1 && hops < 24 {
+                let t = &toks[k as usize];
+                if t.is_punct(';') || t.is_punct('{') {
+                    break;
+                }
+                if t.is_punct('=') {
+                    if let Some(binder) = toks[k as usize - 1].ident() {
+                        node_idents.insert(binder.to_string());
+                    }
+                    break;
+                }
+                k -= 1;
+                hops += 1;
+            }
+        }
+    }
+
+    // Walk `for` loops with a stack of active node-count-keyed ranges.
+    let mut stack: Vec<(String, usize)> = Vec::new(); // (key, body close token)
+    let mut i = 0usize;
+    while i < toks.len() {
+        while stack.last().is_some_and(|&(_, close)| i > close) {
+            stack.pop();
+        }
+        if toks[i].ident() == Some("for") && !fd.in_test_mod(toks[i].line) {
+            if let Some((key, body_open)) = node_range_loop(toks, i, &node_idents) {
+                let body_close = match_forward(toks, body_open, '{', '}');
+                if stack.iter().any(|(k, _)| *k == key) {
+                    out.push(ws.finding(
+                        file_idx,
+                        toks[i].line,
+                        toks[i].col,
+                        LOCALITY,
+                        format!(
+                            "nested loops over the node-count range `{key}` form an \
+                             all-pairs (node x node) sweep inside a \
+                             bounded-neighborhood phase; iterate bounded \
+                             neighborhoods instead, or justify with \
+                             `// tc-lint: allow(locality)`"
+                        ),
+                        None,
+                    ));
+                }
+                stack.push((key, body_close));
+                i = body_open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If the `for` at `for_idx` ranges over `‥..N` with a node-count-like `N`,
+/// returns `(key, body-open-token)`.
+fn node_range_loop(
+    toks: &[Token],
+    for_idx: usize,
+    node_idents: &BTreeSet<String>,
+) -> Option<(String, usize)> {
+    // Find the `in` of the loop header.
+    let mut j = for_idx + 1;
+    let mut hops = 0;
+    while toks.get(j).and_then(Token::ident) != Some("in") {
+        if j >= toks.len() || toks[j].is_punct('{') || hops > 16 {
+            return None;
+        }
+        j += 1;
+        hops += 1;
+    }
+    // Find a top-level `..` before the body brace.
+    let mut depth = 0i64;
+    let mut k = j + 1;
+    let mut dots = None;
+    let mut hops = 0;
+    while k + 1 < toks.len() && hops < 48 {
+        if depth == 0 && toks[k].is_punct('{') {
+            break;
+        }
+        if depth == 0 && toks[k].is_punct('.') && toks[k + 1].is_punct('.') {
+            dots = Some(k);
+            break;
+        }
+        depth += depth_delta(&toks[k]);
+        k += 1;
+        hops += 1;
+    }
+    let dots = dots?;
+    // Collect the range-end tokens up to the body `{`.
+    let mut e = dots + 2;
+    if toks.get(e).is_some_and(|t| t.is_punct('=')) {
+        e += 1; // `..=`
+    }
+    let mut depth = 0i64;
+    let mut end_toks: Vec<&Token> = Vec::new();
+    let mut hops = 0;
+    while e < toks.len() && hops < 24 {
+        if depth == 0 && toks[e].is_punct('{') {
+            let key = node_count_key(&end_toks, node_idents)?;
+            return Some((key, e));
+        }
+        depth += depth_delta(&toks[e]);
+        end_toks.push(&toks[e]);
+        e += 1;
+        hops += 1;
+    }
+    None
+}
+
+/// Canonical key when the range end is node-count-like, else `None`.
+fn node_count_key(end_toks: &[&Token], node_idents: &BTreeSet<String>) -> Option<String> {
+    if end_toks.len() == 1 {
+        let id = end_toks[0].ident()?;
+        if node_idents.contains(id) {
+            return Some(id.to_string());
+        }
+        return None;
+    }
+    let texts: Vec<String> = end_toks.iter().map(|t| tok_text(t)).collect();
+    let tail: Vec<&str> = texts.iter().map(String::as_str).collect();
+    if tail.ends_with(&[".", "node_count", "(", ")"]) {
+        return Some(texts.concat());
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule: scheduler-discipline
+// ---------------------------------------------------------------------------
+
+/// The `tc_graph::par` entry points whose closures the rule inspects.
+const SCHEDULER_FNS: [&str; 2] = ["run_jobs", "par_map_with"];
+
+/// Macros that perform I/O when expanded (fmt-`write!` into a `Formatter`
+/// is deliberately excluded).
+const IO_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Methods that acquire locks or mutate shared atomics — a scheduler
+/// closure reaching for one is sharing state across workers.
+const SYNC_METHODS: [&str; 9] = [
+    "lock",
+    "borrow_mut",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "compare_exchange",
+    "store",
+];
+
+fn scheduler_discipline(ws: &WorkspaceCtx<'_>, out: &mut Vec<Finding>) {
+    // Definitions that perform I/O directly seed the transitive check.
+    let mut io_seeds: Vec<(usize, Option<usize>)> = Vec::new();
+    for (id, def) in ws.symbols.fns().iter().enumerate() {
+        if def.in_test {
+            continue;
+        }
+        let Some((b0, b1)) = def.body else { continue };
+        let fd = &ws.files[def.file];
+        if direct_io_token(&fd.tokens, b0, b1).is_some() {
+            io_seeds.push((id, None));
+        }
+    }
+    let io_reach = ws.calls.reach_any(ws.symbols, &io_seeds, &BTreeSet::new());
+
+    for site in ws.calls.sites() {
+        if !SCHEDULER_FNS.contains(&site.callee.as_str()) || site.in_test {
+            continue;
+        }
+        let fd = &ws.files[site.file];
+        if is_test_path(&fd.path) {
+            continue;
+        }
+        let toks = &fd.tokens;
+        let open = site.tok + 1;
+        let close = match_forward(toks, open, '(', ')');
+
+        // Closure-bearing regions: the argument list itself, plus — for a
+        // bare-ident argument like `jobs` — the `let jobs …;` statement and
+        // every `jobs.push(..)` / `jobs.extend(..)` in the enclosing fn
+        // (the boxed-job construction pattern).
+        let mut regions: Vec<(usize, usize)> = vec![(open + 1, close)];
+        for ident in bare_ident_args(toks, open, close) {
+            if let Some(caller) = site.caller {
+                if let Some((f0, f1)) = ws.symbols.fns()[caller].body {
+                    builder_regions(toks, f0, f1, &ident, &mut regions);
+                }
+            }
+        }
+
+        let mut closures: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for &(s, e) in &regions {
+            collect_closures(toks, s, e, &mut closures);
+        }
+        closures.sort_by_key(|&(ps, ..)| ps);
+        closures.dedup();
+        // Keep only outermost closures — nested ones are scanned as part of
+        // their parent's body (with their params registered as locals).
+        let mut outer: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for c in closures {
+            if !outer.iter().any(|&(_, _, b0, b1)| c.0 > b0 && c.3 <= b1) {
+                outer.push(c);
+            }
+        }
+        for (p0, p1, b0, b1) in outer {
+            check_scheduler_closure(ws, site, (p0, p1), (b0, b1), &io_reach, out);
+        }
+    }
+}
+
+/// Top-level single-identifier arguments of the call `toks[open..=close]`.
+fn bare_ident_args(toks: &[Token], open: usize, close: usize) -> Vec<String> {
+    let mut args = Vec::new();
+    let mut depth = 0i64;
+    let mut start = open + 1;
+    let mut k = open + 1;
+    while k <= close {
+        if k == close || (depth == 0 && toks[k].is_punct(',')) {
+            if k == start + 1 {
+                if let Some(id) = toks[start].ident() {
+                    args.push(id.to_string());
+                }
+            }
+            start = k + 1;
+        } else {
+            depth += depth_delta(&toks[k]);
+        }
+        k += 1;
+    }
+    args
+}
+
+/// Adds the `let <ident> …;` statement span and every `<ident>.push(..)` /
+/// `<ident>.extend(..)` call span within the fn body to `regions`.
+fn builder_regions(
+    toks: &[Token],
+    f0: usize,
+    f1: usize,
+    ident: &str,
+    regions: &mut Vec<(usize, usize)>,
+) {
+    let mut i = f0;
+    while i < f1 {
+        if toks[i].ident() == Some("let") {
+            let named = toks[i + 1].ident() == Some(ident)
+                || (toks[i + 1].ident() == Some("mut")
+                    && toks.get(i + 2).and_then(Token::ident) == Some(ident));
+            if named {
+                let mut depth = 0i64;
+                let mut j = i + 1;
+                while j <= f1 {
+                    if depth == 0 && toks[j].is_punct(';') {
+                        break;
+                    }
+                    depth += depth_delta(&toks[j]);
+                    j += 1;
+                }
+                regions.push((i, j));
+                i = j;
+                continue;
+            }
+        }
+        if toks[i].ident() == Some(ident)
+            && toks[i + 1].is_punct('.')
+            && toks
+                .get(i + 2)
+                .and_then(Token::ident)
+                .is_some_and(|m| m == "push" || m == "extend")
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            let end = match_forward(toks, i + 3, '(', ')');
+            regions.push((i + 4, end));
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Finds closures (`|params| body`, `move || { .. }`) inside
+/// `toks[start..end]`, returning `(param_start, param_end, body_start,
+/// body_end)` token ranges.
+fn collect_closures(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    out: &mut Vec<(usize, usize, usize, usize)>,
+) {
+    let mut i = start;
+    while i < end && i < toks.len() {
+        if !toks[i].is_punct('|') {
+            i += 1;
+            continue;
+        }
+        let starts_closure = i == 0
+            || toks[i - 1].is_punct('(')
+            || toks[i - 1].is_punct(',')
+            || toks[i - 1].is_punct('{')
+            || toks[i - 1].is_punct('[')
+            || toks[i - 1].is_punct('=')
+            || toks[i - 1].ident() == Some("move");
+        if !starts_closure {
+            i += 1;
+            continue;
+        }
+        // Locate the closing `|` of the parameter list; abort on tokens
+        // that prove this `|` was a pattern-alternative or bit-or.
+        let mut p1 = None;
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('|')) {
+            p1 = Some(i + 1);
+        } else {
+            let mut j = i + 1;
+            let mut hops = 0;
+            while j < toks.len() && hops < 64 {
+                let t = &toks[j];
+                if t.is_punct('|') {
+                    p1 = Some(j);
+                    break;
+                }
+                if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct('=') {
+                    break;
+                }
+                j += 1;
+                hops += 1;
+            }
+        }
+        let Some(p1) = p1 else {
+            i += 1;
+            continue;
+        };
+        // Body: `{ .. }` block (possibly after a `-> Type` annotation), or
+        // a bare expression up to the enclosing `,` / `)`.
+        let mut b0 = p1 + 1;
+        if toks.get(b0).is_some_and(|t| t.is_punct('-'))
+            && toks.get(b0 + 1).is_some_and(|t| t.is_punct('>'))
+        {
+            let mut j = b0 + 2;
+            while j < toks.len() && !toks[j].is_punct('{') && j < b0 + 18 {
+                j += 1;
+            }
+            b0 = j;
+        }
+        let b1 = if toks.get(b0).is_some_and(|t| t.is_punct('{')) {
+            match_forward(toks, b0, '{', '}')
+        } else {
+            let mut depth = 0i64;
+            let mut j = b0;
+            while j < toks.len() {
+                let d = depth_delta(&toks[j]);
+                if depth + d < 0 {
+                    break; // closing delimiter of the surrounding call
+                }
+                if depth == 0 && toks[j].is_punct(',') {
+                    break;
+                }
+                depth += d;
+                j += 1;
+            }
+            j.saturating_sub(1)
+        };
+        out.push((i, p1, b0, b1));
+        i = p1 + 1;
+    }
+}
+
+/// First direct-I/O token in `toks[b0..=b1]`, if any: an I/O macro, a
+/// `stdout`/`stderr` handle, or a `fs::` / `File::` path.
+fn direct_io_token(toks: &[Token], b0: usize, b1: usize) -> Option<usize> {
+    for i in b0..=b1.min(toks.len().saturating_sub(1)) {
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        let hit = (IO_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')))
+            || name == "stdout"
+            || name == "stderr"
+            || ((name == "fs" || name == "File")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':')));
+        if hit {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn check_scheduler_closure(
+    ws: &WorkspaceCtx<'_>,
+    site: &crate::callgraph::CallSite,
+    params: (usize, usize),
+    body: (usize, usize),
+    io_reach: &crate::callgraph::Reach,
+    out: &mut Vec<Finding>,
+) {
+    let fd = &ws.files[site.file];
+    let toks = &fd.tokens;
+    let (b0, b1) = body;
+    let sched = &site.callee;
+
+    // Locals: closure params, `let`/`for` bindings, nested-closure params.
+    let mut locals: BTreeSet<String> = BTreeSet::new();
+    for t in &toks[params.0..=params.1] {
+        if let Some(id) = t.ident() {
+            locals.insert(id.to_string());
+        }
+    }
+    let mut i = b0;
+    while i <= b1 && i < toks.len() {
+        match toks[i].ident() {
+            Some("let") => {
+                let mut j = i + 1;
+                let mut hops = 0;
+                while j < toks.len() && hops < 24 {
+                    if toks[j].is_punct('=') || toks[j].is_punct(';') {
+                        break;
+                    }
+                    if let Some(id) = toks[j].ident() {
+                        locals.insert(id.to_string());
+                    }
+                    j += 1;
+                    hops += 1;
+                }
+            }
+            Some("for") => {
+                let mut j = i + 1;
+                let mut hops = 0;
+                while j < toks.len() && hops < 16 {
+                    if toks[j].ident() == Some("in") || toks[j].is_punct('{') {
+                        break;
+                    }
+                    if let Some(id) = toks[j].ident() {
+                        locals.insert(id.to_string());
+                    }
+                    j += 1;
+                    hops += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut nested: Vec<(usize, usize, usize, usize)> = Vec::new();
+    collect_closures(toks, b0 + 1, b1, &mut nested);
+    for &(p0, p1, ..) in &nested {
+        for t in &toks[p0..=p1] {
+            if let Some(id) = t.ident() {
+                locals.insert(id.to_string());
+            }
+        }
+    }
+
+    // (1) Writes to captured bindings (also covers visit-order float folds:
+    // `acc += x` inside the closure writes a captured accumulator).
+    for i in b0..=b1.min(toks.len().saturating_sub(2)) {
+        if !toks[i].is_punct('=') {
+            continue;
+        }
+        let prev_cmp = i > 0
+            && (toks[i - 1].is_punct('=')
+                || toks[i - 1].is_punct('!')
+                || toks[i - 1].is_punct('<')
+                || toks[i - 1].is_punct('>'));
+        let next_cmp = toks[i + 1].is_punct('=') || toks[i + 1].is_punct('>');
+        if prev_cmp || next_cmp || i == 0 {
+            continue;
+        }
+        let mut k = i - 1;
+        if matches!(
+            toks[k].kind,
+            TokKind::Punct('+')
+                | TokKind::Punct('-')
+                | TokKind::Punct('*')
+                | TokKind::Punct('/')
+                | TokKind::Punct('%')
+                | TokKind::Punct('^')
+                | TokKind::Punct('&')
+                | TokKind::Punct('|')
+        ) {
+            if k == 0 {
+                continue;
+            }
+            k -= 1;
+        }
+        // Walk the place expression (`a.b[i].c`) back to its base ident.
+        let base = loop {
+            if toks[k].is_punct(']') {
+                // Backward-match the index brackets.
+                let mut depth = 0i64;
+                loop {
+                    if toks[k].is_punct(']') {
+                        depth += 1;
+                    } else if toks[k].is_punct('[') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                if k == 0 {
+                    break None;
+                }
+                k -= 1;
+                continue;
+            }
+            if toks[k].ident().is_some() {
+                if k >= 2 && toks[k - 1].is_punct('.') {
+                    k -= 2;
+                    continue;
+                }
+                break toks[k].ident();
+            }
+            break None;
+        };
+        if let Some(base) = base {
+            if !locals.contains(base) && base != "self" {
+                out.push(ws.finding(
+                    site.file,
+                    toks[i].line,
+                    toks[i].col,
+                    SCHEDULER_DISCIPLINE,
+                    format!(
+                        "closure passed to `{sched}` writes to captured binding \
+                         `{base}`; workers run concurrently and claim items \
+                         dynamically — return per-item values and combine them \
+                         after the merge (input order), never accumulate in \
+                         visit order"
+                    ),
+                    None,
+                ));
+            }
+        }
+    }
+
+    // (2) Direct I/O.
+    if let Some(tok) = direct_io_token(toks, b0, b1) {
+        out.push(ws.finding(
+            site.file,
+            toks[tok].line,
+            toks[tok].col,
+            SCHEDULER_DISCIPLINE,
+            format!(
+                "closure passed to `{sched}` performs I/O; worker interleaving \
+                 makes output nondeterministic — collect results and report \
+                 after the merge"
+            ),
+            None,
+        ));
+    }
+
+    // (3) Lock/atomic traffic.
+    for i in b0..=b1.min(toks.len().saturating_sub(3)) {
+        if toks[i].is_punct('.')
+            && toks[i + 1]
+                .ident()
+                .is_some_and(|m| SYNC_METHODS.contains(&m))
+            && toks[i + 2].is_punct('(')
+        {
+            let method = toks[i + 1].ident().unwrap_or_default().to_string();
+            out.push(ws.finding(
+                site.file,
+                toks[i + 1].line,
+                toks[i + 1].col,
+                SCHEDULER_DISCIPLINE,
+                format!(
+                    "closure passed to `{sched}` calls `.{method}()`; sharing \
+                     locked/atomic state across workers reintroduces \
+                     visit-order dependence — keep per-worker scratch and merge \
+                     deterministically"
+                ),
+                None,
+            ));
+        }
+    }
+
+    // (4) Transitive I/O through the call graph.
+    for inner in ws.calls.sites() {
+        // Inclusive bounds: a bare-expression body (`|| log_row(x)`)
+        // starts at the call token itself.
+        if inner.file != site.file || inner.tok < b0 || inner.tok > b1 {
+            continue;
+        }
+        let cands = ws.calls.resolve(ws.symbols, inner);
+        if cands.iter().any(|&c| io_reach.reached(c)) {
+            let chain = io_reach.call_path(ws.calls, ws.symbols, inner);
+            out.push(ws.finding(
+                site.file,
+                inner.line,
+                inner.col,
+                SCHEDULER_DISCIPLINE,
+                format!(
+                    "closure passed to `{sched}` calls `{}`, which can reach \
+                     I/O; worker interleaving makes output nondeterministic — \
+                     collect results and report after the merge",
+                    inner.callee
+                ),
+                Some(chain),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: transitive-panic
+// ---------------------------------------------------------------------------
+
+fn transitive_panic(ws: &WorkspaceCtx<'_>, out: &mut Vec<Finding>) {
+    // Direct panickers: unsuppressed unwrap/expect/panic-macro in the body.
+    // A site excused by `allow(panic-hygiene)` documents an invariant — it
+    // does not propagate to callers.
+    let mut direct = vec![false; ws.symbols.fns().len()];
+    for (id, def) in ws.symbols.fns().iter().enumerate() {
+        if def.in_test {
+            continue;
+        }
+        let Some((b0, b1)) = def.body else { continue };
+        let fd = &ws.files[def.file];
+        let toks = &fd.tokens;
+        for i in b0..=b1.min(toks.len().saturating_sub(1)) {
+            let line = toks[i].line;
+            let method_panic = i > 0
+                && toks[i - 1].is_punct('.')
+                && toks[i].ident().is_some_and(|m| PANIC_METHODS.contains(&m))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+            let macro_panic = toks[i].ident().is_some_and(|m| PANIC_MACROS.contains(&m))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if !(method_panic || macro_panic) || fd.in_test_mod(line) {
+                continue;
+            }
+            let suppressed = fd
+                .suppressions
+                .iter()
+                .any(|s| s.covers(PANIC_HYGIENE, line) || s.covers(TRANSITIVE_PANIC, line));
+            if !suppressed {
+                direct[id] = true;
+                break;
+            }
+        }
+    }
+    let reach = ws.calls.panic_closure(ws.symbols, &direct);
+
+    for site in ws.calls.sites() {
+        let fd = &ws.files[site.file];
+        if !is_library_src(&fd.path) || site.in_test {
+            continue;
+        }
+        let cands = ws.calls.resolve(ws.symbols, site);
+        if cands.is_empty() || !cands.iter().all(|&c| reach.reached(c)) {
+            continue;
+        }
+        let chain = reach.call_path(ws.calls, ws.symbols, site);
+        out.push(ws.finding(
+            site.file,
+            site.line,
+            site.col,
+            TRANSITIVE_PANIC,
+            format!(
+                "`{}` can panic (every resolution reaches an unsuppressed \
+                 unwrap/expect/panic!); propagate a Result/Option instead, or \
+                 document the invariant at the panic site with \
+                 `// tc-lint: allow(panic-hygiene)` so callers are excused",
+                site.callee
+            ),
+            Some(chain),
+        ));
     }
 }
 

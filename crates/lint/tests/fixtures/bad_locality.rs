@@ -1,0 +1,30 @@
+//@path: crates/core/src/relaxed/fake_phase.rs
+//! Seeds locality violations: a direct global-API call, a transitive one
+//! through a helper, and a nested node x node sweep.
+
+use tc_graph::WeightedGraph;
+
+pub fn direct_sweep(g: &WeightedGraph) -> f64 {
+    stretch_factor(g)
+}
+
+fn helper(g: &WeightedGraph) -> f64 {
+    stretch_factor(g)
+}
+
+pub fn staged(g: &WeightedGraph) -> f64 {
+    helper(g)
+}
+
+pub fn all_pairs_probe(g: &WeightedGraph) -> usize {
+    let n = g.node_count();
+    let mut count = 0;
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                count += 1;
+            }
+        }
+    }
+    count
+}

@@ -1,0 +1,36 @@
+//@path: crates/bench/src/fake_sweep.rs
+//! Seeds scheduler-discipline violations inside worker closures: direct
+//! I/O, a write to a captured accumulator, atomic traffic, and transitive
+//! I/O through a helper.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tc_graph::par::{par_map_with, run_jobs};
+
+fn log_row(x: f64) {
+    eprintln!("row {x}");
+}
+
+pub fn noisy_sweep(items: &[f64]) -> Vec<f64> {
+    par_map_with(items, 4, || (), |_, x| {
+        println!("working on {x}");
+        *x + 1.0
+    })
+}
+
+pub fn racy_total(items: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let counter = AtomicUsize::new(0);
+    run_jobs(
+        vec![
+            Box::new(|| {
+                total += 1.0;
+            }),
+            Box::new(|| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }),
+            Box::new(|| log_row(2.0)),
+        ],
+        2,
+    );
+    total + items.len() as f64
+}

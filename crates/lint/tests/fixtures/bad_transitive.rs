@@ -1,0 +1,26 @@
+//@path: crates/fake/src/lib.rs
+//! Transitive panic propagation: callers of a panicking helper are
+//! flagged, two levels deep. A helper whose panic site carries an
+//! `allow(panic-hygiene)` justification does not taint its callers.
+
+fn must_get(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub fn caller_one(o: Option<u32>) -> u32 {
+    must_get(o)
+}
+
+pub fn caller_two(o: Option<u32>) -> u32 {
+    caller_one(o)
+}
+
+fn vetted(o: Option<u32>) -> u32 {
+    // the caller has already checked membership
+    // tc-lint: allow(panic-hygiene)
+    o.unwrap()
+}
+
+pub fn fine(o: Option<u32>) -> u32 {
+    vetted(o)
+}

@@ -1,0 +1,22 @@
+//@path: crates/core/src/relaxed/fake_phase_ok.rs
+//! Bounded-neighborhood access only: no locality findings. A single
+//! node-range loop is fine, as is a nested loop whose inner range is a
+//! neighborhood rather than the node count.
+
+use tc_graph::WeightedGraph;
+
+pub fn bounded_probe(g: &WeightedGraph, radius: f64) -> usize {
+    let dist = distances_bounded(g, 0, radius);
+    dist.iter().filter(|d| d.is_some()).count()
+}
+
+pub fn neighbor_scan(g: &WeightedGraph) -> usize {
+    let n = g.node_count();
+    let mut degree_sum = 0;
+    for u in 0..n {
+        for &(v, _w) in g.neighbors(u) {
+            degree_sum += usize::from(v > u);
+        }
+    }
+    degree_sum
+}

@@ -1,0 +1,17 @@
+//@path: crates/bench/src/fake_sweep_ok.rs
+//! Disciplined workers: per-item values, purely local scratch, and all
+//! reporting after the deterministic merge.
+
+use tc_graph::par::par_map_with;
+
+pub fn quiet_sweep(items: &[f64]) -> f64 {
+    let per_item = par_map_with(items, 4, Vec::new, |scratch, x| {
+        scratch.clear();
+        let mut local = 0.0;
+        local += *x;
+        local
+    });
+    let total: f64 = per_item.iter().sum();
+    println!("total {total}");
+    total
+}

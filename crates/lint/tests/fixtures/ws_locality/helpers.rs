@@ -1,0 +1,7 @@
+//@path: crates/graph/src/fake_helpers.rs
+//! A graph-side helper whose cost is global: it runs a full
+//! shortest-path tree. Not itself in locality scope.
+
+pub fn eccentricity_scan(g: &tc_graph::WeightedGraph) -> usize {
+    shortest_path_tree(g, 0).len()
+}

@@ -1,0 +1,7 @@
+//@path: crates/core/src/relaxed/fake_stage.rs
+//! A relaxed-construction stage that reaches the global helper defined
+//! in another file (and another crate).
+
+pub fn stage(g: &tc_graph::WeightedGraph) -> usize {
+    eccentricity_scan(g)
+}

@@ -1,0 +1,6 @@
+//@path: crates/fake/src/consume.rs
+//! Reaches the panicking helper from another file.
+
+pub fn consume(v: Option<f64>) -> f64 {
+    must(v)
+}

@@ -1,0 +1,6 @@
+//@path: crates/fake/src/util.rs
+//! A helper that panics on `None`.
+
+pub fn must(v: Option<f64>) -> f64 {
+    v.unwrap()
+}
