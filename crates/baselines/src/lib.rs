@@ -36,7 +36,7 @@
 //!
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
 //! let points = generators::uniform_points(&mut rng, 80, 2, 3.0);
-//! let ubg = UbgBuilder::unit_disk().build(points);
+//! let ubg = UbgBuilder::unit_disk().build(points).unwrap();
 //! let gg = gabriel_graph(&ubg);
 //! let rng_graph = relative_neighborhood_graph(&ubg);
 //! // RNG ⊆ Gabriel ⊆ UDG.
@@ -135,7 +135,7 @@ mod tests {
     fn sample(seed: u64, n: usize) -> UnitBallGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, 2, 2.2);
-        UbgBuilder::unit_disk().build(points)
+        UbgBuilder::unit_disk().build(points).unwrap()
     }
 
     #[test]

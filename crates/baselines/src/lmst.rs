@@ -66,7 +66,7 @@ mod tests {
     fn sample(seed: u64, n: usize) -> UnitBallGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, 2, 2.0);
-        UbgBuilder::unit_disk().build(points)
+        UbgBuilder::unit_disk().build(points).unwrap()
     }
 
     #[test]
@@ -94,7 +94,7 @@ mod tests {
             Point::new2(0.6, 0.0),
             Point::new2(0.3, 0.2),
         ];
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let out = lmst(&ubg);
         assert!(!out.has_edge(0, 1));
         assert!(out.has_edge(0, 2));
@@ -116,10 +116,11 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        let empty = UbgBuilder::unit_disk().build(vec![]);
+        let empty = UbgBuilder::unit_disk().build(vec![]).unwrap();
         assert_eq!(lmst(&empty).edge_count(), 0);
-        let pair =
-            UbgBuilder::unit_disk().build(vec![Point::new2(0.0, 0.0), Point::new2(0.4, 0.0)]);
+        let pair = UbgBuilder::unit_disk()
+            .build(vec![Point::new2(0.0, 0.0), Point::new2(0.4, 0.0)])
+            .unwrap();
         assert_eq!(lmst(&pair).edge_count(), 1);
     }
 }

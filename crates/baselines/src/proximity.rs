@@ -6,6 +6,7 @@
 //! `Θ(√n)`, the RNG's `Θ(n)`), which is the qualitative contrast to the
 //! paper's (1+ε)-spanner.
 
+use tc_geometry::PointAccess;
 use tc_graph::WeightedGraph;
 use tc_ubg::UnitBallGraph;
 
@@ -19,13 +20,11 @@ pub fn gabriel_graph(ubg: &UnitBallGraph) -> WeightedGraph {
     let points = ubg.points();
     let mut out = WeightedGraph::new(n);
     for e in ubg.graph().edges() {
-        let duv2 = points[e.u].distance_squared(&points[e.v]);
+        let duv2 = points.distance_squared(e.u, e.v);
         let blocked = (0..n).any(|w| {
             w != e.u
                 && w != e.v
-                && points[e.u].distance_squared(&points[w])
-                    + points[e.v].distance_squared(&points[w])
-                    < duv2 - 1e-15
+                && points.distance_squared(e.u, w) + points.distance_squared(e.v, w) < duv2 - 1e-15
         });
         if !blocked {
             out.add(e);
@@ -44,12 +43,12 @@ pub fn relative_neighborhood_graph(ubg: &UnitBallGraph) -> WeightedGraph {
     let points = ubg.points();
     let mut out = WeightedGraph::new(n);
     for e in ubg.graph().edges() {
-        let duv = points[e.u].distance(&points[e.v]);
+        let duv = points.distance(e.u, e.v);
         let blocked = (0..n).any(|w| {
             w != e.u
                 && w != e.v
-                && points[e.u].distance(&points[w]) < duv - 1e-15
-                && points[e.v].distance(&points[w]) < duv - 1e-15
+                && points.distance(e.u, w) < duv - 1e-15
+                && points.distance(e.v, w) < duv - 1e-15
         });
         if !blocked {
             out.add(e);
@@ -70,7 +69,7 @@ mod tests {
     fn sample(seed: u64, n: usize, dim: usize) -> UnitBallGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, dim, 2.0);
-        UbgBuilder::unit_disk().build(points)
+        UbgBuilder::unit_disk().build(points).unwrap()
     }
 
     #[test]
@@ -100,7 +99,7 @@ mod tests {
             Point::new2(0.4, 0.0),
             Point::new2(0.8, 0.0),
         ];
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let gg = gabriel_graph(&ubg);
         let rng_graph = relative_neighborhood_graph(&ubg);
         assert!(!gg.has_edge(0, 2));
@@ -118,7 +117,7 @@ mod tests {
             Point::new2(1.0, 0.0),  // v
             Point::new2(0.5, 0.55), // w: |uw| = |vw| ≈ 0.743 < 1, but above the disk
         ];
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let gg = gabriel_graph(&ubg);
         let rng_graph = relative_neighborhood_graph(&ubg);
         assert!(gg.has_edge(0, 1));
@@ -135,7 +134,7 @@ mod tests {
 
     #[test]
     fn empty_network() {
-        let ubg = UbgBuilder::unit_disk().build(vec![]);
+        let ubg = UbgBuilder::unit_disk().build(vec![]).unwrap();
         assert_eq!(gabriel_graph(&ubg).edge_count(), 0);
         assert_eq!(relative_neighborhood_graph(&ubg).edge_count(), 0);
     }

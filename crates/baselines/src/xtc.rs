@@ -53,7 +53,7 @@ mod tests {
     fn sample(seed: u64, n: usize) -> UnitBallGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, 2, 2.0);
-        UbgBuilder::unit_disk().build(points)
+        UbgBuilder::unit_disk().build(points).unwrap()
     }
 
     #[test]
@@ -72,7 +72,7 @@ mod tests {
             Point::new2(0.5, 0.0),
             Point::new2(0.25, 0.3),
         ];
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let out = xtc(&ubg);
         // Edge (0,1) of length 0.5 is the longest side; node 2 is closer to
         // both endpoints, so XTC drops (0,1) and keeps the two short sides.
@@ -97,12 +97,15 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        let empty = UbgBuilder::unit_disk().build(vec![]);
+        let empty = UbgBuilder::unit_disk().build(vec![]).unwrap();
         assert_eq!(xtc(&empty).edge_count(), 0);
-        let single = UbgBuilder::unit_disk().build(vec![Point::new2(0.0, 0.0)]);
+        let single = UbgBuilder::unit_disk()
+            .build(vec![Point::new2(0.0, 0.0)])
+            .unwrap();
         assert_eq!(xtc(&single).edge_count(), 0);
-        let pair =
-            UbgBuilder::unit_disk().build(vec![Point::new2(0.0, 0.0), Point::new2(0.5, 0.0)]);
+        let pair = UbgBuilder::unit_disk()
+            .build(vec![Point::new2(0.0, 0.0), Point::new2(0.5, 0.0)])
+            .unwrap();
         assert_eq!(xtc(&pair).edge_count(), 1);
     }
 }

@@ -9,7 +9,7 @@
 //! others) nor the total weight — the two dimensions along which the
 //! paper's construction improves on them.
 
-use tc_geometry::ConePartition2d;
+use tc_geometry::{ConePartition2d, PointAccess};
 use tc_graph::WeightedGraph;
 use tc_ubg::UnitBallGraph;
 
@@ -34,11 +34,11 @@ fn cone_based(ubg: &UnitBallGraph, cones: usize, theta_rule: bool) -> WeightedGr
         // Best neighbour per cone: (score, neighbour, weight).
         let mut best: Vec<Option<(f64, usize, f64)>> = vec![None; cones];
         for (v, w) in input.neighbors(u) {
-            let cone = partition.cone_of(&points[u], &points[v]);
+            let cone = partition.cone_of(&points.point(u), &points.point(v));
             let score = if theta_rule {
                 // Projection of uv onto the cone bisector.
-                let dx = points[v].coord(0) - points[u].coord(0);
-                let dy = points[v].coord(1) - points[u].coord(1);
+                let dx = points.coord(v, 0) - points.coord(u, 0);
+                let dy = points.coord(v, 1) - points.coord(u, 1);
                 let bisector = (cone as f64 + 0.5) * cone_angle;
                 dx * bisector.cos() + dy * bisector.sin()
             } else {
@@ -92,7 +92,7 @@ mod tests {
     fn sample(seed: u64, n: usize) -> UnitBallGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, 2, 2.0);
-        UbgBuilder::unit_disk().build(points)
+        UbgBuilder::unit_disk().build(points).unwrap()
     }
 
     #[test]
@@ -134,7 +134,7 @@ mod tests {
             Point::new2(0.3, 0.0),
             Point::new2(0.7, 0.0),
         ];
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let yao = yao_graph(&ubg, 1);
         // Node 0 keeps its nearest neighbour 1; node 2 keeps 1; node 1
         // keeps 0. Edge (0,2) is dropped.
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn empty_network_is_fine() {
-        let ubg = UbgBuilder::unit_disk().build(vec![]);
+        let ubg = UbgBuilder::unit_disk().build(vec![]).unwrap();
         assert_eq!(yao_graph(&ubg, 8).edge_count(), 0);
         assert_eq!(theta_graph(&ubg, 8).edge_count(), 0);
     }
@@ -155,7 +155,7 @@ mod tests {
     fn three_dimensional_input_rejected() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let points = generators::uniform_points(&mut rng, 10, 3, 1.0);
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let _ = yao_graph(&ubg, 8);
     }
 }

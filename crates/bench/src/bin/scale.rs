@@ -1,0 +1,177 @@
+//! Scale harness: end-to-end spanner builds at 10^5–10^6 nodes.
+//!
+//! For each requested size the harness generates a seeded uniform
+//! deployment at constant expected degree, builds the UBG through the
+//! SoA/grid path, runs the relaxed greedy construction with per-phase
+//! timing, and appends one record to `BENCH_scale.json` in the current
+//! directory:
+//!
+//! ```text
+//! { "schema": "tc-scale/1",
+//!   "target_degree": 8.0, "seed": 2006,
+//!   "runs": [ { "n", "dim", "side",
+//!               "ubg_edges", "spanner_edges", "max_degree",
+//!               "gen_seconds", "ubg_seconds", "spanner_seconds",
+//!               "phase_seconds": [{"bin", "seconds"}, ...],
+//!               "peak_rss_kb",           // VmHWM, null off-Linux
+//!               "ubg_edge_hash", "spanner_edge_hash" } ] }
+//! ```
+//!
+//! Peak RSS is read from `/proc/self/status` (`VmHWM`) after each run; it
+//! is a process-lifetime high-water mark, so per-size attribution is only
+//! meaningful for the run that raised it — sizes are run in ascending
+//! order so the last record's value is the 10^6 figure. Edge hashes are
+//! stable FNV-1a fingerprints of the sorted `(u, v, weight-bits)` stream,
+//! comparable across runs and machines.
+//!
+//! Usage: `scale [n ...]` (defaults to 100000 500000 1000000); the
+//! `TC_SCALE_SIZES` environment variable (comma-separated) is used when
+//! no arguments are given.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+use tc_graph::WeightedGraph;
+use tc_spanner::relaxed::PhaseTiming;
+use tc_spanner::{RelaxedGreedy, SpannerParams};
+use tc_ubg::{generators, UbgBuilder};
+
+const SEED: u64 = 2006;
+const TARGET_DEGREE: f64 = 8.0;
+const DIM: usize = 2;
+const EPSILON: f64 = 1.0;
+
+#[derive(Serialize)]
+struct ScaleRun {
+    n: usize,
+    dim: usize,
+    side: f64,
+    ubg_edges: usize,
+    spanner_edges: usize,
+    max_degree: usize,
+    gen_seconds: f64,
+    ubg_seconds: f64,
+    spanner_seconds: f64,
+    phase_seconds: Vec<PhaseTiming>,
+    peak_rss_kb: Option<u64>,
+    ubg_edge_hash: String,
+    spanner_edge_hash: String,
+}
+
+#[derive(Serialize)]
+struct ScaleReport {
+    schema: &'static str,
+    seed: u64,
+    target_degree: f64,
+    epsilon: f64,
+    runs: Vec<ScaleRun>,
+}
+
+/// `VmHWM` (peak resident set, kB) from `/proc/self/status`; `None` where
+/// procfs is unavailable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Stable FNV-1a fingerprint of the sorted edge stream.
+fn edge_hash(graph: &WeightedGraph) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for e in graph.sorted_edges() {
+        mix(&e.u.to_le_bytes());
+        mix(&e.v.to_le_bytes());
+        mix(&e.weight.to_bits().to_le_bytes());
+    }
+    format!("{h:016x}")
+}
+
+fn sizes() -> Vec<usize> {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.replace('_', "").parse().ok())
+        .collect();
+    if !args.is_empty() {
+        return args;
+    }
+    if let Ok(raw) = std::env::var("TC_SCALE_SIZES") {
+        let env_sizes: Vec<usize> = raw
+            .split(',')
+            .filter_map(|s| s.trim().replace('_', "").parse().ok())
+            .collect();
+        if !env_sizes.is_empty() {
+            return env_sizes;
+        }
+    }
+    vec![100_000, 500_000, 1_000_000]
+}
+
+fn run_one(n: usize) -> ScaleRun {
+    let side = generators::side_for_target_degree(n, DIM, TARGET_DEGREE);
+    eprintln!("[scale] n={n} side={side:.1} generating points...");
+    let t0 = Instant::now();
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let points = generators::uniform_points(&mut rng, n, DIM, side);
+    let gen_seconds = t0.elapsed().as_secs_f64();
+
+    eprintln!("[scale] n={n} building UBG...");
+    let t1 = Instant::now();
+    let ubg = UbgBuilder::unit_disk()
+        .build(points)
+        .expect("generator points share a dimension");
+    let ubg_seconds = t1.elapsed().as_secs_f64();
+    eprintln!(
+        "[scale] n={n} UBG: {} edges in {ubg_seconds:.2}s",
+        ubg.graph().edge_count()
+    );
+
+    let params = SpannerParams::for_epsilon(EPSILON, 1.0).expect("valid parameters");
+    let t2 = Instant::now();
+    let (result, phase_seconds) = RelaxedGreedy::new(params).run_timed(&ubg);
+    let spanner_seconds = t2.elapsed().as_secs_f64();
+    eprintln!(
+        "[scale] n={n} spanner: {} edges, max degree {}, {spanner_seconds:.2}s",
+        result.spanner.edge_count(),
+        result.spanner.max_degree()
+    );
+
+    ScaleRun {
+        n,
+        dim: DIM,
+        side,
+        ubg_edges: ubg.graph().edge_count(),
+        spanner_edges: result.spanner.edge_count(),
+        max_degree: result.spanner.max_degree(),
+        gen_seconds,
+        ubg_seconds,
+        spanner_seconds,
+        phase_seconds,
+        peak_rss_kb: peak_rss_kb(),
+        ubg_edge_hash: edge_hash(ubg.graph()),
+        spanner_edge_hash: edge_hash(&result.spanner),
+    }
+}
+
+fn main() {
+    let mut sizes = sizes();
+    // Ascending order so VmHWM attribution (a process-lifetime high-water
+    // mark) is dominated by the final, largest run.
+    sizes.sort_unstable();
+    let report = ScaleReport {
+        schema: "tc-scale/1",
+        seed: SEED,
+        target_degree: TARGET_DEGREE,
+        epsilon: EPSILON,
+        runs: sizes.into_iter().map(run_one).collect(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_scale.json", &json).expect("BENCH_scale.json is writable");
+    println!("{json}");
+}

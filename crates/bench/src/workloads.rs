@@ -4,6 +4,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use tc_geometry::PointStore;
 use tc_ubg::{generators, GreyZonePolicy, UbgBuilder, UnitBallGraph};
 
 /// The spatial distribution of the deployment.
@@ -96,9 +97,15 @@ impl Workload {
                 generators::corridor_points(&mut rng, self.n, self.dim, side * side / 2.0, 1.5)
             }
         };
+        // The generators emit uniform-dimension points, so the store path
+        // (whose `push` asserts the dimension) cannot fail here.
+        let mut store = PointStore::with_capacity(self.dim, points.len());
+        for p in &points {
+            store.push(p.coords());
+        }
         UbgBuilder::new(self.alpha)
             .grey_zone(self.grey_zone)
-            .build(points)
+            .build_store(store)
     }
 }
 

@@ -32,7 +32,7 @@ use crate::seq_greedy::seq_greedy_on_subset;
 use crate::weighting::EdgeWeighting;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use tc_geometry::Point;
+use tc_geometry::PointAccess;
 use tc_graph::{components, dijkstra, Edge, WeightedGraph};
 use tc_ubg::UnitBallGraph;
 
@@ -119,8 +119,8 @@ pub fn run_ablation(
 }
 
 /// Like [`run_ablation`] but on an explicit (points, weighted graph) pair.
-pub fn run_ablation_on(
-    points: &[Point],
+pub fn run_ablation_on<P: PointAccess + ?Sized>(
+    points: &P,
     graph: &WeightedGraph,
     params: SpannerParams,
     weighting: EdgeWeighting,
@@ -280,7 +280,7 @@ mod tests {
     fn sample(seed: u64, n: usize) -> UnitBallGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, 2, 2.5);
-        UbgBuilder::unit_disk().build(points)
+        UbgBuilder::unit_disk().build(points).unwrap()
     }
 
     fn params() -> SpannerParams {
@@ -392,7 +392,7 @@ mod tests {
 
     #[test]
     fn empty_input_is_fine_for_all_variants() {
-        let ubg = UbgBuilder::unit_disk().build(vec![]);
+        let ubg = UbgBuilder::unit_disk().build(vec![]).unwrap();
         for (_, config) in AblationConfig::named_variants() {
             let result = run_ablation(&ubg, params(), config);
             assert_eq!(result.spanner.node_count(), 0);

@@ -40,11 +40,16 @@ use crate::relaxed::{
 use crate::seq_greedy::seq_greedy_on_subset;
 use crate::weighting::EdgeWeighting;
 use serde::{Deserialize, Serialize};
-use tc_geometry::Point;
+use tc_geometry::PointAccess;
 use tc_graph::bucket::{BucketConfig, BucketScratch};
-use tc_graph::{components, Edge, NodeId, WeightedGraph};
+use tc_graph::{components, par, Edge, NodeId, WeightedGraph};
 use tc_simnet::{log2_ceil, log_star, mis, CommStats, RoundLedger};
 use tc_ubg::UnitBallGraph;
+
+/// Sources per parallel work item of the J-graph construction sweep.
+/// Fixed (and independent of the thread count) so the derived graph is
+/// bitwise identical no matter how many workers run.
+const J_SWEEP_CHUNK: usize = 4096;
 
 /// Which distributed MIS protocol stands in for the paper's
 /// Kuhn–Moscibroda–Wattenhofer black box.
@@ -102,7 +107,7 @@ impl DistributedSpannerResult {
 ///
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
 /// let points = generators::uniform_points(&mut rng, 50, 2, 2.0);
-/// let ubg = UbgBuilder::unit_disk().build(points);
+/// let ubg = UbgBuilder::unit_disk().build(points).unwrap();
 /// let params = SpannerParams::for_epsilon(1.0, 1.0).unwrap();
 /// let out = DistributedRelaxedGreedy::new(params).run(&ubg);
 /// assert!(out.rounds > 0);
@@ -158,7 +163,11 @@ impl DistributedRelaxedGreedy {
 
     /// Runs the construction on an explicit (points, weighted graph) pair;
     /// see [`crate::RelaxedGreedy::run_on`].
-    pub fn run_on(&self, points: &[Point], graph: &WeightedGraph) -> DistributedSpannerResult {
+    pub fn run_on<P: PointAccess + ?Sized>(
+        &self,
+        points: &P,
+        graph: &WeightedGraph,
+    ) -> DistributedSpannerResult {
         let n = graph.node_count();
         assert_eq!(points.len(), n, "one point per graph vertex is required");
         let mut ledger = RoundLedger::new();
@@ -259,9 +268,9 @@ impl DistributedRelaxedGreedy {
 
     /// Phase `i ≥ 1`, Sections 3.2.1–3.2.5.
     #[allow(clippy::too_many_arguments)]
-    fn process_long_edges_distributed(
+    fn process_long_edges_distributed<P: PointAccess + ?Sized>(
         &self,
-        points: &[Point],
+        points: &P,
         spanner: &mut WeightedGraph,
         bin_edges: &[Edge],
         bins: &BinPartition,
@@ -289,13 +298,35 @@ impl DistributedRelaxedGreedy {
         let n = spanner.node_count();
         let mut j_graph = WeightedGraph::new(n);
         let spanner_config = BucketConfig::for_graph(spanner);
-        let mut spanner_scratch = BucketScratch::new();
-        for u in 0..n {
-            let dist = spanner_scratch.distances_bounded(spanner, u, radius, &spanner_config);
-            for (v, d) in dist.into_iter().enumerate() {
-                if v > u && d.is_some() {
-                    j_graph.add_edge(u, v, 1.0);
+        // Each source's J-neighbours come from a radius-bounded visitor
+        // sweep — O(nodes reached) per source, never O(n) — fanned over
+        // TC_THREADS workers in fixed chunks. Sorting each chunk and
+        // merging in chunk order reproduces the sequential (u, v)
+        // insertion order exactly, for any thread count.
+        let chunks: Vec<(usize, usize)> = (0..n)
+            .step_by(J_SWEEP_CHUNK)
+            .map(|start| (start, (start + J_SWEEP_CHUNK).min(n)))
+            .collect();
+        let per_chunk: Vec<Vec<(usize, usize)>> = par::par_map_with(
+            &chunks,
+            0,
+            BucketScratch::new,
+            |scratch, _idx, &(start, end)| {
+                let mut local: Vec<(usize, usize)> = Vec::new();
+                for u in start..end {
+                    scratch.for_each_within(spanner, u, radius, &spanner_config, |v, _d| {
+                        if v > u {
+                            local.push((u, v));
+                        }
+                    });
                 }
+                local.sort_unstable();
+                local
+            },
+        );
+        for chunk_edges in per_chunk {
+            for (u, v) in chunk_edges {
+                j_graph.add_edge(u, v, 1.0);
             }
         }
         let mis_result = self.run_mis(&j_graph);
@@ -397,7 +428,7 @@ mod tests {
     fn uniform_ubg(seed: u64, n: usize, side: f64, alpha: f64) -> UnitBallGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, 2, side);
-        UbgBuilder::new(alpha).build(points)
+        UbgBuilder::new(alpha).build(points).unwrap()
     }
 
     #[test]
@@ -418,7 +449,8 @@ mod tests {
         let points = generators::uniform_points(&mut rng, 60, 2, 2.0);
         let ubg = UbgBuilder::new(0.7)
             .grey_zone(GreyZonePolicy::DistanceFalloff { seed: 4 })
-            .build(points);
+            .build(points)
+            .unwrap();
         let params = SpannerParams::for_epsilon(1.0, 0.7).unwrap();
         let out = DistributedRelaxedGreedy::new(params)
             .with_mis_protocol(MisProtocol::Luby { seed: 12 })
@@ -462,7 +494,7 @@ mod tests {
 
     #[test]
     fn empty_input_produces_zero_rounds() {
-        let empty = UbgBuilder::unit_disk().build(vec![]);
+        let empty = UbgBuilder::unit_disk().build(vec![]).unwrap();
         let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
         let out = DistributedRelaxedGreedy::new(params).run(&empty);
         assert_eq!(out.rounds, 0);

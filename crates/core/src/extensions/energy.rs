@@ -68,7 +68,7 @@ pub fn power_cost_comparison(
     // weights may be Euclidean).
     let mut spanner_energy = tc_graph::WeightedGraph::new(spanner.node_count());
     for e in spanner.edges() {
-        spanner_energy.add_edge(e.u, e.v, weighting.weight(ubg.point(e.u), ubg.point(e.v)));
+        spanner_energy.add_edge(e.u, e.v, weighting.weight(&ubg.point(e.u), &ubg.point(e.v)));
     }
     let sp = spanner_energy.power_cost();
     let ratio = if full == 0.0 {
@@ -98,7 +98,7 @@ mod tests {
     fn sample_ubg(seed: u64, n: usize) -> UnitBallGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, 2, 2.5);
-        UbgBuilder::unit_disk().build(points)
+        UbgBuilder::unit_disk().build(points).unwrap()
     }
 
     #[test]
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn power_cost_comparison_handles_empty_graphs() {
-        let ubg = UbgBuilder::unit_disk().build(vec![]);
+        let ubg = UbgBuilder::unit_disk().build(vec![]).unwrap();
         let cmp = power_cost_comparison(&ubg, &tc_graph::WeightedGraph::new(0), 1.0, 2.0);
         assert_eq!(cmp.ratio, 1.0);
     }

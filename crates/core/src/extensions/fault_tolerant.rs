@@ -174,7 +174,11 @@ mod tests {
     fn dense_ubg(seed: u64, n: usize) -> WeightedGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, 2, 1.8);
-        UbgBuilder::unit_disk().build(points).graph().clone()
+        UbgBuilder::unit_disk()
+            .build(points)
+            .unwrap()
+            .graph()
+            .clone()
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! // Deploy 80 nodes uniformly in a 3x3 square, radio range 1.
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
 //! let points = generators::uniform_points(&mut rng, 80, 2, 3.0);
-//! let network = UbgBuilder::unit_disk().build(points);
+//! let network = UbgBuilder::unit_disk().build(points).unwrap();
 //!
 //! // Build a 1.5-spanner (epsilon = 0.5).
 //! let result = build_spanner(&network, 0.5).unwrap();
@@ -109,7 +109,7 @@ mod tests {
     fn top_level_sequential_entry_point() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let points = generators::uniform_points(&mut rng, 60, 2, 2.5);
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let result = build_spanner(&ubg, 0.5).unwrap();
         assert!(stretch_factor(ubg.graph(), &result.spanner) <= 1.5 + 1e-9);
         assert!(build_spanner(&ubg, 0.0).is_err());
@@ -119,7 +119,7 @@ mod tests {
     fn top_level_distributed_entry_point() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let points = generators::uniform_points(&mut rng, 50, 2, 2.0);
-        let ubg = UbgBuilder::new(0.8).build(points);
+        let ubg = UbgBuilder::new(0.8).build(points).unwrap();
         let out = build_spanner_distributed(&ubg, 1.0).unwrap();
         assert!(stretch_factor(ubg.graph(), &out.result.spanner) <= 2.0 + 1e-9);
         assert!(out.rounds > 0);
@@ -128,7 +128,7 @@ mod tests {
 
     #[test]
     fn empty_network_is_accepted() {
-        let ubg = UbgBuilder::unit_disk().build(vec![]);
+        let ubg = UbgBuilder::unit_disk().build(vec![]).unwrap();
         let result = build_spanner(&ubg, 0.5).unwrap();
         assert_eq!(result.spanner.node_count(), 0);
     }

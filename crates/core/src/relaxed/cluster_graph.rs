@@ -16,7 +16,8 @@
 //! makes the per-edge spanner-path queries answerable in `O(1)` rounds.
 
 use super::cover::ClusterCover;
-use tc_graph::{dijkstra, WeightedGraph};
+use tc_graph::bucket::{BucketConfig, BucketScratch};
+use tc_graph::{par, WeightedGraph};
 
 /// Statistics about a constructed cluster graph, used by tests and by the
 /// experiment that checks Lemma 6's constant bound on inter-cluster degree.
@@ -56,14 +57,34 @@ pub fn build_cluster_graph(
     }
 
     // Inter-cluster edges. Lemma 5 bounds the weight of any inter-cluster
-    // edge by (2δ+1)·W_{i-1}, so a Dijkstra bounded by that radius from
-    // each centre discovers every distance we might need.
+    // edge by (2δ+1)·W_{i-1}, so a search bounded by that radius from each
+    // centre discovers every distance we might need. Each sweep records
+    // only the *centres* it reaches, as a sparse sorted list — O(reached)
+    // memory per centre instead of an O(n) distance vector — and the
+    // sweeps fan out over `TC_THREADS` workers with one reusable scratch
+    // each; merging in centre order keeps the replay deterministic.
     let reach = (2.0 * delta + 1.0) * w_prev;
     let centers = cover.centers();
-    let center_dist: Vec<Vec<Option<f64>>> = centers
-        .iter()
-        .map(|&a| dijkstra::shortest_path_distances_bounded(spanner, a, reach))
-        .collect();
+    let mut center_index: Vec<usize> = vec![usize::MAX; n];
+    for (i, &a) in centers.iter().enumerate() {
+        center_index[a] = i;
+    }
+    let config = BucketConfig::for_graph(spanner);
+    let center_reach: Vec<Vec<(usize, f64)>> =
+        par::par_map_with(centers, 0, BucketScratch::new, |scratch, _idx, &a| {
+            let mut reached: Vec<(usize, f64)> = Vec::new();
+            scratch.for_each_within(spanner, a, reach, &config, |v, d| {
+                let ci = center_index[v];
+                if ci != usize::MAX {
+                    reached.push((ci, d));
+                }
+            });
+            // Each centre is visited at most once, so cluster ids are
+            // unique keys and the sorted list is independent of the
+            // (unspecified) visit order.
+            reached.sort_unstable_by_key(|&(ci, _)| ci);
+            reached
+        });
     let add_inter = |h: &mut WeightedGraph,
                      stats: &mut ClusterGraphStats,
                      ca: usize,
@@ -77,12 +98,10 @@ pub fn build_cluster_graph(
     };
 
     // Condition (i): centres within distance W_{i-1} of each other.
-    for (ca, dist) in center_dist.iter().enumerate() {
-        for cb in (ca + 1)..centers.len() {
-            if let Some(d) = dist[centers[cb]] {
-                if d <= w_prev {
-                    add_inter(&mut h, &mut stats, ca, cb, d);
-                }
+    for (ca, reached) in center_reach.iter().enumerate() {
+        for &(cb, d) in reached {
+            if cb > ca && d <= w_prev {
+                add_inter(&mut h, &mut stats, ca, cb, d);
             }
         }
     }
@@ -97,7 +116,10 @@ pub fn build_cluster_graph(
         if h.has_edge(a, b) {
             continue;
         }
-        let d = center_dist[ca][b]
+        let d = center_reach[ca]
+            .binary_search_by_key(&cb, |&(ci, _)| ci)
+            .ok()
+            .map(|pos| center_reach[ca][pos].1)
             // Lemma 5 guarantees the distance is within the bounded reach;
             // fall back to the triangle-inequality upper bound if a
             // floating-point boundary put it just outside.

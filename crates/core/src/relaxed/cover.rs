@@ -41,8 +41,9 @@ impl ClusterCover {
         let mut cluster_of = vec![usize::MAX; n];
         let mut dist_to_center = vec![f64::INFINITY; n];
         // One bucket config and scratch for the whole construction: the
-        // per-centre searches are radius-bounded, so reusing the arrays
-        // keeps each one O(nodes actually reached).
+        // per-centre searches are radius-bounded visitor sweeps, so each
+        // one costs O(nodes actually reached) — never O(n) — which is what
+        // keeps the cover construction near-linear at 10^6 nodes.
         let config = BucketConfig::for_graph(graph);
         let mut scratch = BucketScratch::new();
         for u in 0..n {
@@ -51,15 +52,14 @@ impl ClusterCover {
             }
             let cluster_index = centers.len();
             centers.push(u);
-            let dist = scratch.distances_bounded(graph, u, radius, &config);
-            for (v, d) in dist.into_iter().enumerate() {
-                if let Some(d) = d {
-                    if cluster_of[v] == usize::MAX {
-                        cluster_of[v] = cluster_index;
-                        dist_to_center[v] = d;
-                    }
+            // A node is claimed at most once per sweep, so the (unspecified)
+            // visit order cannot change the resulting assignment.
+            scratch.for_each_within(graph, u, radius, &config, |v, d| {
+                if cluster_of[v] == usize::MAX {
+                    cluster_of[v] = cluster_index;
+                    dist_to_center[v] = d;
                 }
-            }
+            });
         }
         Self {
             radius,
@@ -86,20 +86,20 @@ impl ClusterCover {
         let mut scratch = BucketScratch::new();
         for (idx, &c) in centers.iter().enumerate() {
             assert!(c < n, "cluster centre {c} is out of range");
-            let dist = scratch.distances_bounded(graph, c, radius, &config);
-            for (v, d) in dist.into_iter().enumerate() {
-                if let Some(d) = d {
-                    let better = match best_center[v] {
-                        None => true,
-                        Some((current, _)) => c > current,
-                    };
-                    if better {
-                        best_center[v] = Some((c, d));
-                        cluster_of[v] = idx;
-                        dist_to_center[v] = d;
-                    }
+            // Highest-identifier-wins is independent of the visit order
+            // within a sweep, so the bounded visitor keeps the assignment
+            // identical to the dense-vector formulation.
+            scratch.for_each_within(graph, c, radius, &config, |v, d| {
+                let better = match best_center[v] {
+                    None => true,
+                    Some((current, _)) => c > current,
+                };
+                if better {
+                    best_center[v] = Some((c, d));
+                    cluster_of[v] = idx;
+                    dist_to_center[v] = d;
                 }
-            }
+            });
         }
         for v in 0..n {
             if cluster_of[v] == usize::MAX {
@@ -173,16 +173,24 @@ impl ClusterCover {
                 return false;
             }
         }
+        let mut center_pos = vec![usize::MAX; n];
+        for (i, &a) in self.centers.iter().enumerate() {
+            if a < n {
+                center_pos[a] = i;
+            }
+        }
         let config = BucketConfig::for_graph(graph);
         let mut scratch = BucketScratch::new();
         for (i, &a) in self.centers.iter().enumerate() {
-            let dist = scratch.distances_bounded(graph, a, self.radius, &config);
-            for &b in &self.centers[i + 1..] {
-                if let Some(d) = dist[b] {
-                    if d <= self.radius {
-                        return false;
-                    }
+            let mut separated = true;
+            scratch.for_each_within(graph, a, self.radius, &config, |v, d| {
+                let j = center_pos[v];
+                if j != usize::MAX && j > i && d <= self.radius {
+                    separated = false;
                 }
+            });
+            if !separated {
+                return false;
             }
         }
         true

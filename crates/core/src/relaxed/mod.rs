@@ -40,10 +40,25 @@ use crate::params::SpannerParams;
 use crate::seq_greedy::seq_greedy_on_subset;
 use crate::weighting::EdgeWeighting;
 use serde::{Deserialize, Serialize};
-use tc_geometry::Point;
+use std::time::Instant;
+use tc_geometry::PointAccess;
 use tc_graph::bucket::{BucketConfig, BucketScratch};
-use tc_graph::{components, Edge, WeightedGraph};
+use tc_graph::{components, par, Edge, WeightedGraph};
 use tc_ubg::UnitBallGraph;
+
+/// Wall-clock duration of one construction phase.
+///
+/// Timing is reported *beside* [`PhaseStats`], never inside it: the stats
+/// (and everything else in [`SpannerResult`]) are part of the deterministic
+/// construction output, which must be bitwise identical across runs and
+/// thread counts — wall-clock readings are not.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Bin index `i` the timed phase processed.
+    pub bin: usize,
+    /// Wall-clock seconds the phase took.
+    pub seconds: f64,
+}
 
 /// Per-phase statistics of a relaxed-greedy run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,7 +123,7 @@ impl SpannerResult {
 ///
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
 /// let points = generators::uniform_points(&mut rng, 60, 2, 3.0);
-/// let ubg = UbgBuilder::unit_disk().build(points);
+/// let ubg = UbgBuilder::unit_disk().build(points).unwrap();
 /// let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
 /// let result = RelaxedGreedy::new(params).run(&ubg);
 /// assert!(result.spanner.edge_count() <= ubg.graph().edge_count());
@@ -152,11 +167,43 @@ impl RelaxedGreedy {
         self.run_on(ubg.points(), &graph)
     }
 
+    /// Runs the construction on a realised α-UBG, additionally recording
+    /// per-phase wall-clock timings (for the scale harness; see
+    /// [`PhaseTiming`] for why timings live outside [`SpannerResult`]).
+    pub fn run_timed(&self, ubg: &UnitBallGraph) -> (SpannerResult, Vec<PhaseTiming>) {
+        let graph = self.weighting.weighted_graph(ubg);
+        self.run_on_timed(ubg.points(), &graph)
+    }
+
     /// Runs the construction on an explicit (points, weighted graph) pair.
     /// The graph's weights must be consistent with the configured
     /// weighting applied to the points; [`RelaxedGreedy::run`] guarantees
     /// this, tests may construct their own inputs.
-    pub fn run_on(&self, points: &[Point], graph: &WeightedGraph) -> SpannerResult {
+    pub fn run_on<P: PointAccess + ?Sized>(
+        &self,
+        points: &P,
+        graph: &WeightedGraph,
+    ) -> SpannerResult {
+        self.run_on_impl(points, graph, None)
+    }
+
+    /// [`RelaxedGreedy::run_on`] with per-phase wall-clock timings.
+    pub fn run_on_timed<P: PointAccess + ?Sized>(
+        &self,
+        points: &P,
+        graph: &WeightedGraph,
+    ) -> (SpannerResult, Vec<PhaseTiming>) {
+        let mut timings = Vec::new();
+        let result = self.run_on_impl(points, graph, Some(&mut timings));
+        (result, timings)
+    }
+
+    fn run_on_impl<P: PointAccess + ?Sized>(
+        &self,
+        points: &P,
+        graph: &WeightedGraph,
+        mut timings: Option<&mut Vec<PhaseTiming>>,
+    ) -> SpannerResult {
         let n = graph.node_count();
         assert_eq!(points.len(), n, "one point per graph vertex is required");
         let mut phases = Vec::new();
@@ -174,6 +221,7 @@ impl RelaxedGreedy {
         let bins = BinPartition::new(graph, w0, self.params.r);
 
         for bin_index in bins.non_empty_bins() {
+            let phase_start = Instant::now();
             let bin_edges = bins.bin(bin_index);
             if bin_index == 0 {
                 let stats = self.process_short_edges(&mut spanner, bin_edges, &bins);
@@ -182,6 +230,12 @@ impl RelaxedGreedy {
                 let stats =
                     self.process_long_edges(points, &mut spanner, bin_edges, &bins, bin_index);
                 phases.push(stats);
+            }
+            if let Some(timings) = timings.as_deref_mut() {
+                timings.push(PhaseTiming {
+                    bin: bin_index,
+                    seconds: phase_start.elapsed().as_secs_f64(),
+                });
             }
         }
 
@@ -204,17 +258,28 @@ impl RelaxedGreedy {
     ) -> PhaseStats {
         let n = spanner.node_count();
         let g0 = WeightedGraph::from_edges(n, bin_edges.iter().copied());
-        let mut added = 0;
         // The sweep is over G_0 (short edges only), whose components are
         // cliques of 1-hop neighbourhoods (Lemma 1) — global on a graph
         // that is itself local, not on the input.
         // tc-lint: allow(locality)
-        for component in components::connected_components(&g0) {
-            if component.len() < 2 {
-                continue;
-            }
-            let partial = seq_greedy_on_subset(&g0, &component, self.params.t);
-            for e in partial.edges() {
+        let work: Vec<_> = components::connected_components(&g0)
+            .into_iter()
+            .filter(|component| component.len() >= 2)
+            .collect();
+        // The per-component SEQ-GREEDY runs are independent, so they fan
+        // out over TC_THREADS workers; merging the edge lists in component
+        // order makes the spanner's insertion order — and therefore the
+        // output — bitwise identical to the sequential loop.
+        let t = self.params.t;
+        let per_component: Vec<Vec<Edge>> = par::par_map_with(
+            &work,
+            0,
+            || (),
+            |_scratch, _idx, component| seq_greedy_on_subset(&g0, component, t).edges().collect(),
+        );
+        let mut added = 0;
+        for component_edges in per_component {
+            for e in component_edges {
                 spanner.add(e);
                 added += 1;
             }
@@ -235,9 +300,9 @@ impl RelaxedGreedy {
 
     /// Phase `i ≥ 1` (Section 2.2): cluster cover, query-edge selection,
     /// cluster graph, query answering, redundant-edge removal.
-    fn process_long_edges(
+    fn process_long_edges<P: PointAccess + ?Sized>(
         &self,
-        points: &[Point],
+        points: &P,
         spanner: &mut WeightedGraph,
         bin_edges: &[Edge],
         bins: &BinPartition,
@@ -262,17 +327,28 @@ impl RelaxedGreedy {
         // Step (iii): cluster graph H_{i-1}.
         let (h, _h_stats) = build_cluster_graph(spanner, &cover, w_prev, self.params.delta);
 
-        // Step (iv): answer the spanner-path queries on H_{i-1}, one
-        // budgeted bucket search per query on a shared scratch.
+        // Step (iv): answer the spanner-path queries on H_{i-1}. The bin's
+        // queries are all asked on the same *frozen* H (lazy updates), so
+        // they are independent: fan them over TC_THREADS workers, one
+        // budgeted bucket search each on a per-worker scratch, and apply
+        // the verdicts in query order so the spanner's insertion order
+        // matches the sequential loop exactly.
         let h_config = BucketConfig::for_graph(&h);
-        let mut h_scratch = BucketScratch::new();
+        let t = self.params.t;
+        let needs_edge: Vec<bool> = par::par_map_with(
+            &selection.query_edges,
+            0,
+            BucketScratch::new,
+            |h_scratch, _idx, edge| {
+                let budget = t * edge.weight;
+                h_scratch
+                    .shortest_path_within(&h, edge.u, edge.v, budget, &h_config)
+                    .is_none()
+            },
+        );
         let mut added: Vec<Edge> = Vec::new();
-        for edge in &selection.query_edges {
-            let budget = self.params.t * edge.weight;
-            if h_scratch
-                .shortest_path_within(&h, edge.u, edge.v, budget, &h_config)
-                .is_none()
-            {
+        for (edge, needed) in selection.query_edges.iter().zip(needs_edge) {
+            if needed {
                 added.push(*edge);
             }
         }
@@ -308,13 +384,14 @@ mod tests {
     use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use tc_geometry::Point;
     use tc_graph::properties::{spanner_report, stretch_factor};
     use tc_ubg::{generators, GreyZonePolicy, UbgBuilder};
 
     fn uniform_ubg(seed: u64, n: usize, dim: usize, side: f64, alpha: f64) -> UnitBallGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let points = generators::uniform_points(&mut rng, n, dim, side);
-        UbgBuilder::new(alpha).build(points)
+        UbgBuilder::new(alpha).build(points).unwrap()
     }
 
     #[test]
@@ -341,7 +418,8 @@ mod tests {
                 probability: 0.5,
                 seed: 3,
             })
-            .build(points);
+            .build(points)
+            .unwrap();
         let params = SpannerParams::for_epsilon(1.0, 0.6).unwrap();
         let result = RelaxedGreedy::new(params).run(&ubg);
         let stretch = stretch_factor(ubg.graph(), &result.spanner);
@@ -383,13 +461,15 @@ mod tests {
 
     #[test]
     fn empty_and_trivial_inputs() {
-        let empty = UbgBuilder::unit_disk().build(vec![]);
+        let empty = UbgBuilder::unit_disk().build(vec![]).unwrap();
         let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
         let result = RelaxedGreedy::new(params).run(&empty);
         assert_eq!(result.spanner.node_count(), 0);
         assert_eq!(result.phase_count(), 0);
 
-        let single = UbgBuilder::unit_disk().build(vec![Point::new2(0.0, 0.0)]);
+        let single = UbgBuilder::unit_disk()
+            .build(vec![Point::new2(0.0, 0.0)])
+            .unwrap();
         let result = RelaxedGreedy::new(params).run(&single);
         assert_eq!(result.spanner.edge_count(), 0);
     }
@@ -404,7 +484,7 @@ mod tests {
                 .into_iter()
                 .map(|p| p.translated(&[10.0, 0.0])),
         );
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
         let result = RelaxedGreedy::new(params).run(&ubg);
         let stretch = stretch_factor(ubg.graph(), &result.spanner);

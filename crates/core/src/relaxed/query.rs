@@ -13,7 +13,7 @@ use super::cover::ClusterCover;
 use crate::params::SpannerParams;
 use crate::weighting::EdgeWeighting;
 use std::collections::BTreeMap;
-use tc_geometry::{angle_at, Point};
+use tc_geometry::{angle_at_indices, PointAccess};
 use tc_graph::{Edge, WeightedGraph};
 
 /// The outcome of query-edge selection for one bin.
@@ -32,8 +32,8 @@ pub struct QuerySelection {
 
 /// Whether the bin edge `edge` is covered with respect to the current
 /// partial spanner (Section 2.2.2's definition, both symmetric cases).
-pub fn is_covered(
-    points: &[Point],
+pub fn is_covered<P: PointAccess + ?Sized>(
+    points: &P,
     params: &SpannerParams,
     weighting: EdgeWeighting,
     spanner: &WeightedGraph,
@@ -54,10 +54,10 @@ pub fn is_covered(
             if w_uz > edge.weight {
                 continue;
             }
-            if points[v].distance(&points[z]) > alpha {
+            if points.distance(v, z) > alpha {
                 continue;
             }
-            if angle_at(&points[u], &points[v], &points[z]) <= theta {
+            if angle_at_indices(points, u, v, z) <= theta {
                 return true;
             }
         }
@@ -73,8 +73,8 @@ pub fn is_covered(
 /// Selects the query edges of one bin: filters covered and same-cluster
 /// edges, then keeps one edge per cluster pair minimising
 /// `t·w(x, y) − sp(a, x) − sp(b, y)`.
-pub fn select_query_edges(
-    points: &[Point],
+pub fn select_query_edges<P: PointAccess + ?Sized>(
+    points: &P,
     params: &SpannerParams,
     weighting: EdgeWeighting,
     spanner: &WeightedGraph,
@@ -117,6 +117,7 @@ pub fn select_query_edges(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tc_geometry::Point;
 
     fn params() -> SpannerParams {
         SpannerParams::for_epsilon(1.0, 1.0).unwrap()

@@ -50,20 +50,38 @@ pub fn analyze_redundancy(added: &[Edge], h: &WeightedGraph, t1: f64) -> Redunda
         };
     }
     // Distances in H from every endpoint of an added edge, bounded by the
-    // largest value any redundancy condition can need.
+    // largest value any redundancy condition can need. Only
+    // endpoint-to-endpoint distances are ever read, so each bounded sweep
+    // writes into one row of a small dense k×k matrix (k = distinct
+    // endpoints) instead of materialising an O(n) distance vector per
+    // endpoint — the latter is quadratic over a whole run and was the
+    // scale bottleneck (see docs/PERFORMANCE.md).
     let max_w = added.iter().map(|e| e.weight).fold(0.0_f64, f64::max);
     let budget = t1 * max_w;
     let mut endpoints: Vec<NodeId> = added.iter().flat_map(|e| [e.u, e.v]).collect();
     endpoints.sort_unstable();
     endpoints.dedup();
+    let mut endpoint_index: Vec<u32> = vec![u32::MAX; h.node_count()];
+    for (i, &x) in endpoints.iter().enumerate() {
+        endpoint_index[x] = i as u32;
+    }
+    let k = endpoints.len();
+    let mut dmat = vec![f64::INFINITY; k * k];
     let config = BucketConfig::for_graph(h);
     let mut scratch = BucketScratch::new();
-    let dist_of: std::collections::HashMap<NodeId, Vec<Option<f64>>> = endpoints
-        .iter()
-        .map(|&x| (x, scratch.distances_bounded(h, x, budget, &config)))
-        .collect();
+    for (i, &x) in endpoints.iter().enumerate() {
+        // Each node is visited at most once per sweep with a distance that
+        // is bitwise identical to the bounded Dijkstra's, so the matrix
+        // row is independent of the (unspecified) visit order.
+        scratch.for_each_within(h, x, budget, &config, |v, d| {
+            let j = endpoint_index[v];
+            if j != u32::MAX {
+                dmat[i * k + j as usize] = d;
+            }
+        });
+    }
     let sp = |x: NodeId, y: NodeId| -> f64 {
-        dist_of.get(&x).and_then(|d| d[y]).unwrap_or(f64::INFINITY)
+        dmat[endpoint_index[x] as usize * k + endpoint_index[y] as usize]
     };
 
     let mut involved = vec![false; added.len()];

@@ -97,8 +97,8 @@ pub fn verify_spanner(base: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> 
 /// full property quantifies over all subsets; pairs are both the dominant
 /// case in the paper's proof and the only case checkable at scale, so this
 /// is a spot check, not a proof.
-pub fn leapfrog_violations(
-    points: &[tc_geometry::Point],
+pub fn leapfrog_violations<P: tc_geometry::PointAccess + ?Sized>(
+    points: &P,
     spanner: &WeightedGraph,
     t2: f64,
     t: f64,
@@ -121,7 +121,7 @@ pub fn leapfrog_violations(
             // The property must hold for every ordering/orientation of S,
             // so a violation exists as soon as the *cheapest* pairing of
             // the connecting segments already fails the inequality.
-            let d = |a: usize, b: usize| points[a].distance(&points[b]);
+            let d = |a: usize, b: usize| points.distance(a, b);
             let rhs1 = e2.weight + t * (d(e1.v, e2.u) + d(e2.v, e1.u));
             let rhs2 = e2.weight + t * (d(e1.v, e2.v) + d(e2.u, e1.u));
             let rhs = rhs1.min(rhs2);
@@ -150,7 +150,7 @@ mod tests {
     ) {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let points = generators::uniform_points(&mut rng, 70, 2, 2.5);
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
         let result = RelaxedGreedy::new(params).run(&ubg);
         (ubg, result, params)

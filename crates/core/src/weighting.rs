@@ -97,7 +97,7 @@ mod tests {
             Point::new2(0.5, 0.0),
             Point::new2(0.9, 0.0),
         ];
-        let ubg = UbgBuilder::unit_disk().build(points);
+        let ubg = UbgBuilder::unit_disk().build(points).unwrap();
         let euclid = EdgeWeighting::Euclidean.weighted_graph(&ubg);
         let power = EdgeWeighting::Power { c: 1.0, gamma: 2.0 }.weighted_graph(&ubg);
         assert_eq!(euclid.edge_count(), power.edge_count());

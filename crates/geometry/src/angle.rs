@@ -7,6 +7,7 @@
 //! is the angle at the apex of a triangle, which is well defined in any
 //! dimension via the dot product.
 
+use crate::store::PointAccess;
 use crate::Point;
 
 /// Angle (in radians, in `[0, π]`) between two direction vectors.
@@ -45,6 +46,35 @@ pub fn angle_between(a: &[f64], b: &[f64]) -> f64 {
 /// ```
 pub fn angle_at(u: &Point, a: &Point, b: &Point) -> f64 {
     angle_between(&u.vector_to(a), &u.vector_to(b))
+}
+
+/// Index-based [`angle_at`] over any [`PointAccess`] storage — the angle
+/// `∠aub` at apex `u`, without materialising `Point`s or direction vectors.
+///
+/// The dot product and both squared norms are accumulated per axis in the
+/// same left-to-right order [`angle_between`] uses, so the result is
+/// bitwise identical to `angle_at(&points[u], &points[a], &points[b])` on
+/// the equivalent array-of-structs input. That identity is what keeps the
+/// SoA construction path byte-for-byte deterministic against the original.
+pub fn angle_at_indices<P: PointAccess + ?Sized>(points: &P, u: usize, a: usize, b: usize) -> f64 {
+    let mut dot = 0.0_f64;
+    let mut na2 = 0.0_f64;
+    let mut nb2 = 0.0_f64;
+    for axis in 0..points.dim() {
+        let cu = points.coord(u, axis);
+        let va = points.coord(a, axis) - cu;
+        let vb = points.coord(b, axis) - cu;
+        dot += va * vb;
+        na2 += va * va;
+        nb2 += vb * vb;
+    }
+    let na = na2.sqrt();
+    let nb = nb2.sqrt();
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return 0.0;
+    }
+    let cos = (dot / (na * nb)).clamp(-1.0, 1.0);
+    cos.acos()
 }
 
 #[cfg(test)]
@@ -101,6 +131,25 @@ mod tests {
         assert_eq!(angle_at(&u, &a, &b), 0.0);
     }
 
+    #[test]
+    fn indexed_angle_matches_point_angle_bitwise() {
+        let points = vec![
+            Point::new3(0.1, -2.0, 3.7),
+            Point::new3(1.0, 0.0, 0.0),
+            Point::new3(0.0, 0.0, 4.0),
+            Point::new3(0.1, -2.0, 3.7), // coincides with the apex
+        ];
+        for (u, a, b) in [(0, 1, 2), (1, 0, 2), (2, 1, 0), (0, 3, 1)] {
+            let from_points = angle_at(&points[u], &points[a], &points[b]);
+            let from_indices = angle_at_indices(points.as_slice(), u, a, b);
+            assert_eq!(
+                from_points.to_bits(),
+                from_indices.to_bits(),
+                "apex {u}, legs {a}/{b}"
+            );
+        }
+    }
+
     proptest! {
         #[test]
         fn angle_is_symmetric_and_in_range(
@@ -113,6 +162,18 @@ mod tests {
             let rhs = angle_at(&u, &b, &a);
             prop_assert!((lhs - rhs).abs() < 1e-9);
             prop_assert!((0.0..=PI + 1e-9).contains(&lhs));
+        }
+
+        #[test]
+        fn indexed_angle_is_bitwise_identical(
+            u in proptest::collection::vec(-10.0f64..10.0, 3),
+            a in proptest::collection::vec(-10.0f64..10.0, 3),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let pts = vec![Point::new(u), Point::new(a), Point::new(b)];
+            let reference = angle_at(&pts[0], &pts[1], &pts[2]);
+            let indexed = angle_at_indices(pts.as_slice(), 0, 1, 2);
+            prop_assert_eq!(reference.to_bits(), indexed.to_bits());
         }
     }
 }

@@ -10,12 +10,39 @@
 //! 2. Constructing an α-UBG on `n` points requires finding all pairs at
 //!    distance at most 1. A hash grid with cell side equal to the query
 //!    radius turns that into a near-linear scan of neighbouring cells.
+//!
+//! All queries are generic over [`PointAccess`], so the same sweeps serve
+//! `&[Point]` fixtures and the SoA [`crate::PointStore`] the million-node
+//! construction path uses. The `*_with` variants take a [`GridScratch`] and
+//! perform no per-query allocation — that is what keeps the UBG cell sweep
+//! allocation-free when one worker processes thousands of sources.
 
+use crate::store::PointAccess;
 use crate::Point;
 use std::collections::HashMap;
 
 /// Integer coordinates of a grid cell.
 pub type CellCoord = Vec<i64>;
+
+/// Reusable buffers for allocation-free [`GridIndex`] queries.
+///
+/// Create one per worker and pass it to
+/// [`GridIndex::neighbors_within_with`]; the buffers grow to the largest
+/// query seen and are reused across calls.
+#[derive(Debug, Clone, Default)]
+pub struct GridScratch {
+    base: Vec<i64>,
+    offsets: Vec<i64>,
+    key: Vec<i64>,
+    out: Vec<usize>,
+}
+
+impl GridScratch {
+    /// Creates an empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A uniform hash grid over a set of points in `R^d`.
 ///
@@ -46,25 +73,31 @@ impl GridIndex {
     ///
     /// ```
     /// use tc_geometry::{GridIndex, Point};
-    /// let grid = GridIndex::build(&[], 1.0);
+    /// let empty: [Point; 0] = [];
+    /// let grid = GridIndex::build(&empty, 1.0);
     /// assert_eq!(grid.occupied_cells(), 0);
-    /// assert!(grid.query_ball(&[], &Point::new2(0.0, 0.0), 5.0).is_empty());
+    /// assert!(grid.query_ball(&empty, &Point::new2(0.0, 0.0), 5.0).is_empty());
     /// ```
     ///
     /// # Panics
     ///
     /// Panics if `cell_size <= 0` or if the points do not all share one
     /// dimension.
-    pub fn build(points: &[Point], cell_size: f64) -> Self {
+    pub fn build<P: PointAccess + ?Sized>(points: &P, cell_size: f64) -> Self {
         assert!(cell_size > 0.0, "grid cell size must be positive");
-        let dim = points.first().map_or(0, Point::dim);
+        let dim = points.dim();
         let mut cells: HashMap<CellCoord, Vec<usize>> = HashMap::new();
-        for (i, p) in points.iter().enumerate() {
-            assert_eq!(p.dim(), dim, "all points must share a dimension");
-            cells
-                .entry(Self::cell_of_point(p, cell_size))
-                .or_default()
-                .push(i);
+        let mut key: Vec<i64> = Vec::with_capacity(dim);
+        for i in 0..points.len() {
+            assert_eq!(points.dim_of(i), dim, "all points must share a dimension");
+            key.clear();
+            key.extend((0..dim).map(|axis| (points.coord(i, axis) / cell_size).floor() as i64));
+            // Allocate the owned key only when the cell is first occupied.
+            if let Some(members) = cells.get_mut(key.as_slice()) {
+                members.push(i);
+            } else {
+                cells.insert(key.clone(), vec![i]);
+            }
         }
         Self {
             cell_size,
@@ -98,45 +131,117 @@ impl GridIndex {
     /// Indices of all points within Euclidean distance `radius` of point
     /// `index` (excluding the point itself), in ascending index order.
     ///
-    /// `points` must be the same slice the index was built from.
-    pub fn neighbors_within(&self, points: &[Point], index: usize, radius: f64) -> Vec<usize> {
-        let p = &points[index];
-        let mut out = Vec::new();
-        self.for_each_candidate(p, radius, |j| {
-            if j != index && points[j].distance(p) <= radius {
-                out.push(j);
-            }
-        });
+    /// `points` must be the same set the index was built from. Allocates a
+    /// fresh result vector per call; hot loops should use
+    /// [`Self::neighbors_within_with`] instead.
+    pub fn neighbors_within<P: PointAccess + ?Sized>(
+        &self,
+        points: &P,
+        index: usize,
+        radius: f64,
+    ) -> Vec<usize> {
+        let mut scratch = GridScratch::new();
+        self.neighbors_within_with(points, index, radius, &mut scratch)
+            .to_vec()
+    }
+
+    /// Allocation-free variant of [`Self::neighbors_within`]: fills (and
+    /// returns a view of) the scratch's output buffer instead of
+    /// allocating. Returns the same indices in the same ascending order.
+    pub fn neighbors_within_with<'s, P: PointAccess + ?Sized>(
+        &self,
+        points: &P,
+        index: usize,
+        radius: f64,
+        scratch: &'s mut GridScratch,
+    ) -> &'s [usize] {
+        let GridScratch {
+            base,
+            offsets,
+            key,
+            out,
+        } = scratch;
+        base.clear();
+        base.extend(
+            (0..self.dim).map(|axis| (points.coord(index, axis) / self.cell_size).floor() as i64),
+        );
+        out.clear();
+        self.for_each_candidate(
+            base,
+            offsets,
+            key,
+            |j| {
+                if j != index && points.distance(j, index) <= radius {
+                    out.push(j);
+                }
+            },
+            radius,
+        );
         out.sort_unstable();
         out
     }
 
     /// Indices of all points within distance `radius` of an arbitrary query
     /// point (which need not belong to the indexed set).
-    pub fn query_ball(&self, points: &[Point], center: &Point, radius: f64) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.for_each_candidate(center, radius, |j| {
-            if points[j].distance(center) <= radius {
-                out.push(j);
-            }
-        });
+    pub fn query_ball<P: PointAccess + ?Sized>(
+        &self,
+        points: &P,
+        center: &Point,
+        radius: f64,
+    ) -> Vec<usize> {
+        let mut scratch = GridScratch::new();
+        let GridScratch {
+            base,
+            offsets,
+            key,
+            out,
+        } = &mut scratch;
+        base.extend(
+            center
+                .coords()
+                .iter()
+                .take(self.dim)
+                .map(|c| (c / self.cell_size).floor() as i64),
+        );
+        self.for_each_candidate(
+            base,
+            offsets,
+            key,
+            |j| {
+                let mut sum = 0.0;
+                for axis in 0..self.dim {
+                    let d = points.coord(j, axis) - center.coord(axis);
+                    sum += d * d;
+                }
+                if sum.sqrt() <= radius {
+                    out.push(j);
+                }
+            },
+            radius,
+        );
         out.sort_unstable();
-        out
+        scratch.out
     }
 
-    /// Visits every indexed point whose cell is within `radius` of `p`'s
-    /// cell in the infinity norm; the caller filters by exact distance.
-    fn for_each_candidate(&self, p: &Point, radius: f64, mut visit: impl FnMut(usize)) {
+    /// Visits every indexed point whose cell is within `radius` of the cell
+    /// in `base` in the infinity norm; the caller filters by exact
+    /// distance. `offsets` and `key` are caller-provided buffers so the
+    /// enumeration allocates nothing.
+    fn for_each_candidate(
+        &self,
+        base: &[i64],
+        offsets: &mut Vec<i64>,
+        key: &mut Vec<i64>,
+        mut visit: impl FnMut(usize),
+        radius: f64,
+    ) {
         let reach = (radius / self.cell_size).ceil() as i64;
-        let base = self.cell_of(p);
-        let mut offsets = vec![-reach; self.dim];
+        offsets.clear();
+        offsets.resize(self.dim, -reach);
         loop {
-            let cell: CellCoord = base
-                .iter()
-                .zip(offsets.iter())
-                .map(|(b, o)| b + o)
-                .collect();
-            if let Some(members) = self.cells.get(&cell) {
+            key.clear();
+            key.extend(base.iter().zip(offsets.iter()).map(|(b, o)| b + o));
+            if let Some(members) = self.cells.get(key.as_slice()) {
                 for &j in members {
                     visit(j);
                 }
@@ -173,6 +278,7 @@ impl GridIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PointStore;
     use proptest::prelude::*;
     use rand::{Rng, SeedableRng};
 
@@ -184,12 +290,31 @@ mod tests {
         out
     }
 
+    fn uniform_points(seed: u64, n: usize, side: f64) -> Vec<Point> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new2(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect()
+    }
+
+    /// Gaussian-ish blobs around a few anchors: many points share a cell,
+    /// many cells are empty.
+    fn clustered_points(seed: u64, n: usize, side: f64) -> Vec<Point> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let anchors: Vec<(f64, f64)> = (0..4)
+            .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect();
+        (0..n)
+            .map(|i| {
+                let (ax, ay) = anchors[i % anchors.len()];
+                Point::new2(ax + rng.gen_range(-0.3..0.3), ay + rng.gen_range(-0.3..0.3))
+            })
+            .collect()
+    }
+
     #[test]
     fn matches_brute_force_on_random_points() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let points: Vec<Point> = (0..200)
-            .map(|_| Point::new2(rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)))
-            .collect();
+        let points = uniform_points(7, 200, 5.0);
         let grid = GridIndex::build(&points, 1.0);
         for i in (0..points.len()).step_by(17) {
             assert_eq!(
@@ -198,6 +323,75 @@ mod tests {
                 "mismatch at point {i}"
             );
         }
+    }
+
+    #[test]
+    fn matches_brute_force_on_clustered_points() {
+        // Clustered inputs exercise heavily occupied cells next to wholly
+        // empty ones — both sides of the candidate enumeration.
+        let points = clustered_points(23, 150, 6.0);
+        let grid = GridIndex::build(&points, 0.5);
+        for i in 0..points.len() {
+            assert_eq!(
+                grid.neighbors_within(&points, i, 0.5),
+                brute_force_neighbors(&points, i, 0.5),
+                "mismatch at point {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let points = uniform_points(31, 120, 4.0);
+        let store = PointStore::from_points(&points).unwrap();
+        let grid = GridIndex::build(&store, 1.0);
+        let mut scratch = GridScratch::new();
+        for i in 0..points.len() {
+            let allocating = grid.neighbors_within(&store, i, 1.0);
+            let reused = grid.neighbors_within_with(&store, i, 1.0, &mut scratch);
+            assert_eq!(allocating, reused, "mismatch at point {i}");
+            assert_eq!(allocating, brute_force_neighbors(&points, i, 1.0));
+        }
+    }
+
+    #[test]
+    fn soa_store_queries_match_slice_queries() {
+        let points = clustered_points(5, 90, 5.0);
+        let store = PointStore::from_points(&points).unwrap();
+        let from_slice = GridIndex::build(&points, 0.75);
+        let from_store = GridIndex::build(&store, 0.75);
+        for i in 0..points.len() {
+            assert_eq!(
+                from_slice.neighbors_within(&points, i, 0.75),
+                from_store.neighbors_within(&store, i, 0.75),
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_cells_are_included() {
+        // Points exactly on cell boundaries and a query radius equal to
+        // the cell size: the candidate enumeration must reach one cell
+        // beyond the boundary in every direction.
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(1.0, 0.0),  // on the cell boundary, distance exactly 1
+            Point::new2(-1.0, 0.0), // negative-coordinate cell
+            Point::new2(0.0, 1.0),
+            Point::new2(1.0, 1.0), // distance sqrt(2) > 1: excluded
+        ];
+        let grid = GridIndex::build(&points, 1.0);
+        assert_eq!(grid.neighbors_within(&points, 0, 1.0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_cells_between_occupied_ones_are_skipped() {
+        // Two far-apart points: every cell between them is empty and the
+        // query must cross the gap without false positives.
+        let points = vec![Point::new2(0.0, 0.0), Point::new2(10.0, 0.0)];
+        let grid = GridIndex::build(&points, 1.0);
+        assert!(grid.neighbors_within(&points, 0, 5.0).is_empty());
+        assert_eq!(grid.neighbors_within(&points, 0, 10.0), vec![1]);
     }
 
     #[test]
@@ -265,11 +459,12 @@ mod tests {
     fn empty_point_set_builds_an_empty_index() {
         // Regression: this used to panic, aborting degenerate workloads
         // (n = 0 after churn/filters). It must build an inert index.
-        let grid = GridIndex::build(&[], 1.0);
+        let empty: [Point; 0] = [];
+        let grid = GridIndex::build(&empty, 1.0);
         assert_eq!(grid.occupied_cells(), 0);
         assert_eq!(grid.cell_size(), 1.0);
         assert!(grid
-            .query_ball(&[], &Point::new2(0.3, -0.7), 10.0)
+            .query_ball(&empty, &Point::new2(0.3, -0.7), 10.0)
             .is_empty());
     }
 
@@ -286,10 +481,17 @@ mod tests {
                 .map(|_| Point::new2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
                 .collect();
             let grid = GridIndex::build(&points, radius);
+            let store = PointStore::from_points(&points).unwrap();
+            let mut scratch = GridScratch::new();
             for i in 0..n {
+                let expected = brute_force_neighbors(&points, i, radius);
                 prop_assert_eq!(
                     grid.neighbors_within(&points, i, radius),
-                    brute_force_neighbors(&points, i, radius)
+                    expected.clone()
+                );
+                prop_assert_eq!(
+                    grid.neighbors_within_with(&store, i, radius, &mut scratch),
+                    expected.as_slice()
                 );
             }
         }

@@ -45,13 +45,15 @@ pub mod doubling;
 mod grid;
 mod metric;
 mod point;
+mod store;
 
-pub use angle::{angle_at, angle_between};
+pub use angle::{angle_at, angle_at_indices, angle_between};
 pub use bbox::{Aabb, Ball};
 pub use cone::ConePartition2d;
-pub use grid::{CellCoord, GridIndex};
+pub use grid::{CellCoord, GridIndex, GridScratch};
 pub use metric::{Euclidean, HopMetric, Metric, PowerMetric};
 pub use point::{DimensionMismatch, Point};
+pub use store::{PointAccess, PointStore};
 
 /// Relative/absolute tolerance used by approximate floating-point
 /// comparisons throughout the workspace.

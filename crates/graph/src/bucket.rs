@@ -216,6 +216,41 @@ impl BucketScratch {
         self.reset();
     }
 
+    /// Radius-bounded single-source sweep that *visits* each reached node
+    /// instead of materialising a length-`n` distance vector: `visit(v, d)`
+    /// is called once for every node `v` with `sp(source, v) ≤ radius`,
+    /// including the source itself (at distance `0.0`).
+    ///
+    /// This is the million-node counterpart of
+    /// [`Self::distances_bounded`]: the cost is `O(nodes actually
+    /// reached)`, so a sweep over all `n` sources of a bounded-radius
+    /// cover stays near-linear instead of `O(n²)`. Every visited distance
+    /// is bitwise identical to the heap oracle's.
+    ///
+    /// The visit order is unspecified (it follows the internal touched
+    /// list); callers that need a canonical order must collect and sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn for_each_within<G: GraphView>(
+        &mut self,
+        graph: &G,
+        source: NodeId,
+        radius: f64,
+        config: &BucketConfig,
+        mut visit: impl FnMut(NodeId, f64),
+    ) {
+        self.run(graph, source, radius, config, &mut []);
+        for &u in &self.touched {
+            let d = self.dist[u as usize];
+            if d.is_finite() {
+                visit(u as usize, d);
+            }
+        }
+        self.reset();
+    }
+
     /// Decides whether `sp(source, target) ≤ budget`, returning the
     /// distance if so — the bucket counterpart of
     /// [`crate::dijkstra::shortest_path_within`], with the same early exit
@@ -460,6 +495,44 @@ mod tests {
         assert_eq!(b, vec![Some(2.0), Some(1.0), Some(0.0)]);
         let c = scratch.distances_bounded(&big, 39, f64::INFINITY, &cfg_big);
         assert_bitwise_equal(&c, &dijkstra::shortest_path_distances(&big, 39));
+    }
+
+    #[test]
+    fn visitor_sweep_matches_distances_bounded() {
+        let g = path_graph(10);
+        let cfg = BucketConfig::for_graph(&g);
+        let mut scratch = BucketScratch::new();
+        for source in 0..10 {
+            for radius in [0.0, 1.5, 3.0, f64::INFINITY] {
+                let dense = scratch.distances_bounded(&g, source, radius, &cfg);
+                let mut visited: Vec<(usize, f64)> = Vec::new();
+                scratch.for_each_within(&g, source, radius, &cfg, |v, d| visited.push((v, d)));
+                visited.sort_by_key(|&(v, _)| v);
+                let expected: Vec<(usize, f64)> = dense
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(v, d)| d.map(|d| (v, d)))
+                    .collect();
+                assert_eq!(visited.len(), expected.len());
+                for ((va, da), (vb, db)) in visited.iter().zip(expected.iter()) {
+                    assert_eq!(va, vb);
+                    assert_eq!(da.to_bits(), db.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visitor_sweep_leaves_scratch_clean_for_reuse() {
+        let g = path_graph(6);
+        let cfg = BucketConfig::for_graph(&g);
+        let mut scratch = BucketScratch::new();
+        let mut count = 0;
+        scratch.for_each_within(&g, 0, 2.0, &cfg, |_, _| count += 1);
+        assert_eq!(count, 3); // nodes 0, 1, 2
+                              // A dense query on the same scratch still matches the oracle.
+        let after = scratch.distances_bounded(&g, 3, f64::INFINITY, &cfg);
+        assert_bitwise_equal(&after, &dijkstra::shortest_path_distances(&g, 3));
     }
 
     #[test]

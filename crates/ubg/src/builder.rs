@@ -1,8 +1,13 @@
 //! Construction of α-quasi unit ball graphs from point sets.
 
 use crate::{GreyZonePolicy, UnitBallGraph};
-use tc_geometry::{GridIndex, Point};
-use tc_graph::WeightedGraph;
+use tc_geometry::{DimensionMismatch, GridIndex, GridScratch, Point, PointAccess, PointStore};
+use tc_graph::{par, WeightedGraph};
+
+/// Nodes per parallel work item in [`UbgBuilder::build_store`]. Fixed (and
+/// independent of the thread count) so the edge stream — and therefore the
+/// built graph — is bitwise identical no matter how many workers run.
+const SWEEP_CHUNK: usize = 4096;
 
 /// Builds a realised α-UBG from node positions.
 ///
@@ -12,7 +17,11 @@ use tc_graph::WeightedGraph;
 /// weights are Euclidean distances.
 ///
 /// Neighbour candidates are found through a spatial hash with cell side 1,
-/// so construction is near-linear for bounded-density deployments.
+/// so construction is near-linear for bounded-density deployments. The cell
+/// sweep is fanned over fixed-size index chunks via [`par`] (worker count
+/// from `TC_THREADS`), with one reusable [`GridScratch`] per worker and a
+/// deterministic in-order merge, so the result is bitwise identical to the
+/// sequential build.
 ///
 /// # Example
 ///
@@ -28,7 +37,8 @@ use tc_graph::WeightedGraph;
 /// ];
 /// let ubg = UbgBuilder::new(0.5)
 ///     .grey_zone(GreyZonePolicy::Never)
-///     .build(points);
+///     .build(points)
+///     .unwrap();
 /// assert!(ubg.graph().has_edge(0, 1));      // 0.3 <= alpha
 /// assert!(!ubg.graph().has_edge(0, 2));     // grey zone, policy = Never
 /// assert!(!ubg.graph().has_edge(2, 3));     // farther than 1
@@ -77,39 +87,67 @@ impl UbgBuilder {
 
     /// Builds the realised α-UBG on the given points.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the points do not all share one dimension.
-    pub fn build(&self, points: Vec<Point>) -> UnitBallGraph {
+    /// Returns a [`DimensionMismatch`] (expected dimension on the left,
+    /// offending dimension on the right) if the points do not all share one
+    /// dimension.
+    pub fn build(&self, points: Vec<Point>) -> Result<UnitBallGraph, DimensionMismatch> {
+        let store = PointStore::from_points(&points)?;
+        Ok(self.build_store(store))
+    }
+
+    /// Builds the realised α-UBG on a structure-of-arrays point store.
+    ///
+    /// This is the million-node entry point: the store is already
+    /// dimension-uniform by construction, the grid sweep reuses one
+    /// [`GridScratch`] per worker (no per-query allocation), and the chunked
+    /// fan-out merges in index order so the output is bitwise identical for
+    /// any `TC_THREADS`.
+    pub fn build_store(&self, points: PointStore) -> UnitBallGraph {
         let n = points.len();
         let mut graph = WeightedGraph::new(n);
         if n > 1 {
             let grid = GridIndex::build(&points, 1.0);
-            for u in 0..n {
-                for v in grid.neighbors_within(&points, u, 1.0) {
-                    if v <= u {
-                        continue;
+            let chunks: Vec<(usize, usize)> = (0..n)
+                .step_by(SWEEP_CHUNK)
+                .map(|start| (start, (start + SWEEP_CHUNK).min(n)))
+                .collect();
+            let per_chunk = par::par_map_with(
+                &chunks,
+                0,
+                || (GridScratch::new(), Vec::new(), Vec::new()),
+                |(scratch, coords_u, coords_v), _idx, &(start, end)| {
+                    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+                    for u in start..end {
+                        for &v in grid.neighbors_within_with(&points, u, 1.0, scratch) {
+                            if v <= u {
+                                continue;
+                            }
+                            let dist = points.distance(u, v);
+                            let connect = if dist <= self.alpha {
+                                true
+                            } else {
+                                points.write_coords(u, coords_u);
+                                points.write_coords(v, coords_v);
+                                self.policy
+                                    .connects(u, v, dist, self.alpha, coords_u, coords_v)
+                            };
+                            if connect {
+                                edges.push((u, v, dist));
+                            }
+                        }
                     }
-                    let dist = points[u].distance(&points[v]);
-                    let connect = if dist <= self.alpha {
-                        true
-                    } else {
-                        self.policy.connects(
-                            u,
-                            v,
-                            dist,
-                            self.alpha,
-                            points[u].coords(),
-                            points[v].coords(),
-                        )
-                    };
-                    if connect {
-                        graph.add_edge(u, v, dist);
-                    }
+                    edges
+                },
+            );
+            for chunk_edges in per_chunk {
+                for (u, v, dist) in chunk_edges {
+                    graph.add_edge(u, v, dist);
                 }
             }
         }
-        UnitBallGraph::from_parts(points, self.alpha, graph)
+        UnitBallGraph::from_store(points, self.alpha, graph)
     }
 }
 
@@ -134,7 +172,7 @@ mod tests {
             Point::new2(0.8, 0.0),
             Point::new2(2.0, 0.0),
         ];
-        let ubg = UbgBuilder::new(0.5).build(points);
+        let ubg = UbgBuilder::new(0.5).build(points).unwrap();
         assert!(ubg.graph().has_edge(0, 1));
         assert!(ubg.graph().has_edge(1, 2)); // 0.4 <= alpha
         assert!(ubg.graph().has_edge(0, 2)); // grey zone but policy Always
@@ -152,7 +190,7 @@ mod tests {
             Point::new2(0.99, 0.0),
             Point::new2(2.0, 0.0),
         ];
-        let ubg = b.build(points);
+        let ubg = b.build(points).unwrap();
         assert!(ubg.graph().has_edge(0, 1));
         assert!(!ubg.graph().has_edge(1, 2));
     }
@@ -162,7 +200,8 @@ mod tests {
         let points = random_points(5, 60, 2, 3.0);
         let ubg = UbgBuilder::new(0.6)
             .grey_zone(GreyZonePolicy::Never)
-            .build(points);
+            .build(points)
+            .unwrap();
         for e in ubg.graph().edges() {
             assert!(e.weight <= 0.6 + 1e-12);
         }
@@ -175,6 +214,7 @@ mod tests {
         let never = UbgBuilder::new(0.5)
             .grey_zone(GreyZonePolicy::Never)
             .build(points.clone())
+            .unwrap()
             .graph()
             .edge_count();
         let half = UbgBuilder::new(0.5)
@@ -183,11 +223,13 @@ mod tests {
                 seed: 3,
             })
             .build(points.clone())
+            .unwrap()
             .graph()
             .edge_count();
         let always = UbgBuilder::new(0.5)
             .grey_zone(GreyZonePolicy::Always)
             .build(points)
+            .unwrap()
             .graph()
             .edge_count();
         assert!(never <= half && half <= always);
@@ -200,19 +242,59 @@ mod tests {
     #[test]
     fn three_dimensional_instances_build() {
         let points = random_points(7, 80, 3, 2.0);
-        let ubg = UbgBuilder::new(0.75).build(points);
+        let ubg = UbgBuilder::new(0.75).build(points).unwrap();
         assert_eq!(ubg.dim(), 3);
         assert!(ubg.is_valid_alpha_ubg());
     }
 
     #[test]
     fn empty_and_singleton_point_sets() {
-        let empty = UbgBuilder::new(0.5).build(vec![]);
+        let empty = UbgBuilder::new(0.5).build(vec![]).unwrap();
         assert!(empty.is_empty());
         assert_eq!(empty.graph().edge_count(), 0);
-        let single = UbgBuilder::new(0.5).build(vec![Point::new2(1.0, 1.0)]);
+        let single = UbgBuilder::new(0.5)
+            .build(vec![Point::new2(1.0, 1.0)])
+            .unwrap();
         assert_eq!(single.len(), 1);
         assert_eq!(single.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn mixed_dimension_points_are_rejected_with_a_typed_error() {
+        // Regression for the documented panic: `build` now reports the
+        // expected and offending dimensions instead of aborting.
+        let err = UbgBuilder::new(0.5)
+            .build(vec![Point::new2(0.0, 0.0), Point::new3(0.0, 0.0, 0.0)])
+            .unwrap_err();
+        assert_eq!(err, DimensionMismatch { left: 2, right: 3 });
+        let err = UbgBuilder::new(0.5)
+            .build(vec![
+                Point::new3(0.0, 0.0, 0.0),
+                Point::new3(1.0, 0.0, 0.0),
+                Point::new(vec![2.0]),
+            ])
+            .unwrap_err();
+        assert_eq!(err, DimensionMismatch { left: 3, right: 1 });
+    }
+
+    #[test]
+    fn build_store_matches_build_bitwise() {
+        let points = random_points(11, 150, 2, 3.0);
+        let store = PointStore::from_points(&points).unwrap();
+        let builder = UbgBuilder::new(0.6).grey_zone(GreyZonePolicy::DistanceFalloff { seed: 9 });
+        let via_points = builder.build(points).unwrap();
+        let via_store = builder.build_store(store);
+        let a: Vec<_> = via_points
+            .graph()
+            .edges()
+            .map(|e| (e.u, e.v, e.weight.to_bits()))
+            .collect();
+        let b: Vec<_> = via_store
+            .graph()
+            .edges()
+            .map(|e| (e.u, e.v, e.weight.to_bits()))
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -237,7 +319,7 @@ mod tests {
                 2 => GreyZonePolicy::Probabilistic { probability: 0.5, seed },
                 _ => GreyZonePolicy::DistanceFalloff { seed },
             };
-            let ubg = UbgBuilder::new(alpha).grey_zone(policy).build(points);
+            let ubg = UbgBuilder::new(alpha).grey_zone(policy).build(points).unwrap();
             prop_assert!(ubg.is_valid_alpha_ubg());
         }
     }

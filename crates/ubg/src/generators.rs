@@ -231,7 +231,7 @@ mod tests {
         let target = 12.0;
         let side = side_for_target_degree(n, 2, target);
         let pts = uniform_points(&mut rng, n, 2, side);
-        let ubg = crate::UbgBuilder::unit_disk().build(pts);
+        let ubg = crate::UbgBuilder::unit_disk().build(pts).unwrap();
         let mean = ubg.graph().mean_degree();
         assert!(
             (mean - target).abs() < target * 0.4,

@@ -36,7 +36,8 @@
 //! let points = generators::uniform_points(&mut rng, 100, 2, 4.0);
 //! let ubg = UbgBuilder::new(0.75)
 //!     .grey_zone(GreyZonePolicy::Probabilistic { probability: 0.5, seed: 7 })
-//!     .build(points);
+//!     .build(points)
+//!     .unwrap();
 //! assert_eq!(ubg.len(), 100);
 //! assert!(ubg.graph().edge_count() > 0);
 //! ```

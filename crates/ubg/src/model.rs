@@ -1,7 +1,7 @@
 //! The realised α-quasi unit ball graph: node positions plus the graph.
 
 use serde::{Deserialize, Serialize};
-use tc_geometry::{Metric, Point};
+use tc_geometry::{Metric, Point, PointAccess, PointStore};
 use tc_graph::{CsrGraph, WeightedGraph};
 
 /// A realised d-dimensional α-quasi unit ball graph.
@@ -10,9 +10,14 @@ use tc_graph::{CsrGraph, WeightedGraph};
 /// Euclidean edge weights. Constructed by [`crate::UbgBuilder`]; the struct
 /// itself only exposes read access and derived views (such as re-weighting
 /// under a different [`Metric`] for the energy-spanner extension).
+///
+/// Positions are stored as a structure-of-arrays [`PointStore`] — one flat
+/// coordinate array per axis — so million-node instances stay cache-friendly
+/// and free of per-point allocations. [`Self::points`] hands out the store;
+/// index-based readers go through [`PointAccess`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UnitBallGraph {
-    points: Vec<Point>,
+    points: PointStore,
     alpha: f64,
     graph: WeightedGraph,
 }
@@ -24,8 +29,25 @@ impl UnitBallGraph {
     /// # Panics
     ///
     /// Panics if the graph's vertex count differs from the number of
-    /// points, or if `alpha` is outside `(0, 1]`.
+    /// points, if the points do not all share one dimension, or if `alpha`
+    /// is outside `(0, 1]`.
     pub fn from_parts(points: Vec<Point>, alpha: f64, graph: WeightedGraph) -> Self {
+        let dim = points.first().map_or(0, Point::dim);
+        let mut store = PointStore::with_capacity(dim, points.len());
+        for p in &points {
+            assert_eq!(p.dim(), dim, "points must all share one dimension");
+            store.push(p.coords());
+        }
+        Self::from_store(store, alpha, graph)
+    }
+
+    /// Assembles a realised UBG from a structure-of-arrays point store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's vertex count differs from the number of
+    /// points, or if `alpha` is outside `(0, 1]`.
+    pub fn from_store(points: PointStore, alpha: f64, graph: WeightedGraph) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
         assert_eq!(
             points.len(),
@@ -56,22 +78,25 @@ impl UnitBallGraph {
 
     /// Dimension `d` of the ambient space (0 for an empty network).
     pub fn dim(&self) -> usize {
-        self.points.first().map_or(0, Point::dim)
+        self.points.dim()
     }
 
-    /// Node positions.
-    pub fn points(&self) -> &[Point] {
+    /// Node positions, in structure-of-arrays layout.
+    pub fn points(&self) -> &PointStore {
         &self.points
     }
 
-    /// Position of node `v`.
-    pub fn point(&self, v: usize) -> &Point {
-        &self.points[v]
+    /// Position of node `v`, materialised as an owned [`Point`].
+    ///
+    /// Index-based hot paths should read coordinates through
+    /// [`Self::points`] and [`PointAccess`] instead of materialising.
+    pub fn point(&self, v: usize) -> Point {
+        self.points.point(v)
     }
 
     /// Euclidean distance `|uv|` between two nodes.
     pub fn distance(&self, u: usize, v: usize) -> f64 {
-        self.points[u].distance(&self.points[v])
+        self.points.distance(u, v)
     }
 
     /// The realised graph, with Euclidean edge weights.
@@ -99,7 +124,7 @@ impl UnitBallGraph {
             g.add_edge(
                 e.u,
                 e.v,
-                metric.distance(&self.points[e.u], &self.points[e.v]),
+                metric.distance(&self.points.point(e.u), &self.points.point(e.v)),
             );
         }
         g
@@ -155,7 +180,26 @@ mod tests {
         assert_eq!(ubg.alpha(), 0.5);
         assert!((ubg.distance(0, 2) - 0.9).abs() < 1e-12);
         assert_eq!(ubg.points().len(), 3);
-        assert_eq!(ubg.point(1), &Point::new2(0.4, 0.0));
+        assert_eq!(ubg.point(1), Point::new2(0.4, 0.0));
+    }
+
+    #[test]
+    fn store_construction_matches_point_construction() {
+        let points = vec![
+            Point::new2(0.0, 0.0),
+            Point::new2(0.4, 0.0),
+            Point::new2(0.9, 0.0),
+        ];
+        let store = PointStore::from_points(&points).unwrap();
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 0.4);
+        let from_store = UnitBallGraph::from_store(store, 0.5, g.clone());
+        let from_parts = UnitBallGraph::from_parts(points, 0.5, g);
+        assert_eq!(from_store.points(), from_parts.points());
+        assert_eq!(
+            from_store.distance(0, 2).to_bits(),
+            from_parts.distance(0, 2).to_bits()
+        );
     }
 
     #[test]
@@ -218,5 +262,15 @@ mod tests {
     #[should_panic(expected = "must match")]
     fn mismatched_graph_size_rejected() {
         let _ = UnitBallGraph::from_parts(vec![Point::new2(0.0, 0.0)], 0.5, WeightedGraph::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimension")]
+    fn mixed_dimension_points_rejected_by_from_parts() {
+        let _ = UnitBallGraph::from_parts(
+            vec![Point::new2(0.0, 0.0), Point::new3(0.0, 0.0, 0.0)],
+            0.5,
+            WeightedGraph::new(2),
+        );
     }
 }

@@ -27,7 +27,8 @@ fn main() {
     let points = generators::uniform_points(&mut rng, n, 3, side);
     let network = UbgBuilder::new(alpha)
         .grey_zone(GreyZonePolicy::DistanceFalloff { seed: 99 })
-        .build(points);
+        .build(points)
+        .unwrap();
     println!(
         "3-dimensional alpha-UBG: n = {}, alpha = {}, links = {}, valid model instance = {}",
         network.len(),

@@ -22,7 +22,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(77);
     let side = generators::side_for_target_degree(n, 2, 12.0);
     let points = generators::uniform_points(&mut rng, n, 2, side);
-    let network = UbgBuilder::unit_disk().build(points);
+    let network = UbgBuilder::unit_disk().build(points).unwrap();
 
     let mut rows: Vec<(String, tc_graph::WeightedGraph)> = Vec::new();
     let ours = build_spanner(&network, 0.5).expect("valid parameters");

@@ -19,7 +19,7 @@ fn build(seed: u64, n: usize) -> tc_ubg::UnitBallGraph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let side = generators::side_for_target_degree(n, 2, 12.0);
     let points = generators::uniform_points(&mut rng, n, 2, side);
-    UbgBuilder::unit_disk().build(points)
+    UbgBuilder::unit_disk().build(points).unwrap()
 }
 
 fn main() {

@@ -25,7 +25,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(31);
     let side = generators::side_for_target_degree(n, 2, 12.0);
     let points = generators::uniform_points(&mut rng, n, 2, side);
-    let network = UbgBuilder::unit_disk().build(points);
+    let network = UbgBuilder::unit_disk().build(points).unwrap();
     println!(
         "network: {} nodes, {} links",
         network.len(),

@@ -21,7 +21,7 @@
 //!
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
 //! let points = generators::uniform_points(&mut rng, 50, 2, 2.0);
-//! let network = UbgBuilder::unit_disk().build(points);
+//! let network = UbgBuilder::unit_disk().build(points).unwrap();
 //! let spanner = build_spanner(&network, 0.5).unwrap();
 //! assert!(spanner.spanner.edge_count() <= network.graph().edge_count());
 //! ```

@@ -17,6 +17,7 @@ fn deploy(seed: u64, n: usize, alpha: f64) -> UnitBallGraph {
             seed,
         })
         .build(points)
+        .unwrap()
 }
 
 /// Serializes an edge set into a canonical byte string.

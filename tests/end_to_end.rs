@@ -22,6 +22,7 @@ fn deploy(seed: u64, n: usize, alpha: f64) -> UnitBallGraph {
             seed,
         })
         .build(points)
+        .unwrap()
 }
 
 #[test]
@@ -146,7 +147,7 @@ fn three_dimensional_network_end_to_end() {
     let mut rng = ChaCha8Rng::seed_from_u64(8);
     let side = generators::side_for_target_degree(100, 3, 14.0);
     let points = generators::uniform_points(&mut rng, 100, 3, side);
-    let network = UbgBuilder::new(0.8).build(points);
+    let network = UbgBuilder::new(0.8).build(points).unwrap();
     assert!(network.is_valid_alpha_ubg());
     let result = build_spanner(&network, 1.0).unwrap();
     let report = verify_spanner(network.graph(), &result.spanner, result.params.t);
@@ -158,7 +159,7 @@ fn corridor_topology_is_handled() {
     // High-diameter network: many phases have only a handful of edges.
     let mut rng = ChaCha8Rng::seed_from_u64(10);
     let points = generators::corridor_points(&mut rng, 120, 2, 25.0, 1.0);
-    let network = UbgBuilder::unit_disk().build(points);
+    let network = UbgBuilder::unit_disk().build(points).unwrap();
     let result = build_spanner(&network, 0.5).unwrap();
     let report = verify_spanner(network.graph(), &result.spanner, result.params.t);
     assert!(report.stretch_ok);
@@ -168,7 +169,7 @@ fn corridor_topology_is_handled() {
 fn clustered_topology_is_handled() {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
     let points = generators::clustered_points(&mut rng, 150, 2, 4.0, 6, 0.4);
-    let network = UbgBuilder::new(0.7).build(points);
+    let network = UbgBuilder::new(0.7).build(points).unwrap();
     let result = build_spanner(&network, 1.0).unwrap();
     let report = verify_spanner(network.graph(), &result.spanner, result.params.t);
     assert!(report.stretch_ok);

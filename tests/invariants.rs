@@ -27,7 +27,10 @@ fn deploy(
         },
         _ => GreyZonePolicy::DistanceFalloff { seed },
     };
-    UbgBuilder::new(alpha).grey_zone(policy).build(points)
+    UbgBuilder::new(alpha)
+        .grey_zone(policy)
+        .build(points)
+        .unwrap()
 }
 
 proptest! {

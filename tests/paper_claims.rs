@@ -12,7 +12,7 @@ fn network(seed: u64, n: usize) -> UnitBallGraph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let side = generators::side_for_target_degree(n, 2, 12.0);
     let points = generators::uniform_points(&mut rng, n, 2, side);
-    UbgBuilder::unit_disk().build(points)
+    UbgBuilder::unit_disk().build(points).unwrap()
 }
 
 /// Lemma 1: every connected component of the short-edge graph G_0 induces
