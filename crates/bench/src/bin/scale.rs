@@ -7,15 +7,37 @@
 //! directory:
 //!
 //! ```text
-//! { "schema": "tc-scale/1",
+//! { "schema": "tc-scale/2",
 //!   "target_degree": 8.0, "seed": 2006,
 //!   "runs": [ { "n", "dim", "side",
 //!               "ubg_edges", "spanner_edges", "max_degree",
 //!               "gen_seconds", "ubg_seconds", "spanner_seconds",
-//!               "phase_seconds": [{"bin", "seconds"}, ...],
+//!               "sampled_stretch", "stretch_samples",
+//!               "phases": {             // parallel arrays, one entry per
+//!                 "bin": [...],         // non-empty bin ≥ 1 phase
+//!                 "seconds": [...],     // whole-phase wall clock
+//!                 "cover_seconds": [...],     // step (i)
+//!                 "selection_seconds": [...], // step (ii)
+//!                 "h_build_seconds": [...],   // step (iii) CSR freeze
+//!                 "query_seconds": [...],     // step (iv)
+//!                 "redundant_seconds": [...]  // step (v)
+//!               },
 //!               "peak_rss_kb",           // VmHWM, null off-Linux
 //!               "ubg_edge_hash", "spanner_edge_hash" } ] }
 //! ```
+//!
+//! The per-phase breakdown is stored as parallel arrays (one line each in
+//! the emitted JSON) rather than an array of per-phase objects: at 10^6
+//! nodes the construction runs ~600 phases and the object-per-phase form
+//! made the report thousands of lines of structural noise around a few
+//! kilobytes of numbers.
+//!
+//! `sampled_stretch` is the worst observed spanner stretch over an
+//! evenly strided sample (~2000 edges) of the base graph, measured with
+//! budgeted bucket searches on the frozen spanner CSR — a cheap
+//! end-to-end check that the recorded build actually met its target, and
+//! the number EXPERIMENTS.md quotes when construction changes move the
+//! output spanner.
 //!
 //! Peak RSS is read from `/proc/self/status` (`VmHWM`) after each run; it
 //! is a process-lifetime high-water mark, so per-size attribution is only
@@ -30,9 +52,10 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::time::Instant;
-use tc_graph::WeightedGraph;
+use tc_graph::bucket::{BucketConfig, BucketScratch};
+use tc_graph::{CsrGraph, WeightedGraph};
 use tc_spanner::relaxed::PhaseTiming;
 use tc_spanner::{RelaxedGreedy, SpannerParams};
 use tc_ubg::{generators, UbgBuilder};
@@ -41,6 +64,34 @@ const SEED: u64 = 2006;
 const TARGET_DEGREE: f64 = 8.0;
 const DIM: usize = 2;
 const EPSILON: f64 = 1.0;
+const STRETCH_SAMPLE_TARGET: usize = 2000;
+
+/// Per-phase timings as parallel arrays (entry `k` of every array belongs
+/// to the same phase).
+#[derive(Serialize)]
+struct PhaseBreakdown {
+    bin: Vec<usize>,
+    seconds: Vec<f64>,
+    cover_seconds: Vec<f64>,
+    selection_seconds: Vec<f64>,
+    h_build_seconds: Vec<f64>,
+    query_seconds: Vec<f64>,
+    redundant_seconds: Vec<f64>,
+}
+
+impl PhaseBreakdown {
+    fn from_timings(timings: &[PhaseTiming]) -> Self {
+        Self {
+            bin: timings.iter().map(|p| p.bin).collect(),
+            seconds: timings.iter().map(|p| p.seconds).collect(),
+            cover_seconds: timings.iter().map(|p| p.cover_seconds).collect(),
+            selection_seconds: timings.iter().map(|p| p.selection_seconds).collect(),
+            h_build_seconds: timings.iter().map(|p| p.h_build_seconds).collect(),
+            query_seconds: timings.iter().map(|p| p.query_seconds).collect(),
+            redundant_seconds: timings.iter().map(|p| p.redundant_seconds).collect(),
+        }
+    }
+}
 
 #[derive(Serialize)]
 struct ScaleRun {
@@ -53,7 +104,9 @@ struct ScaleRun {
     gen_seconds: f64,
     ubg_seconds: f64,
     spanner_seconds: f64,
-    phase_seconds: Vec<PhaseTiming>,
+    sampled_stretch: f64,
+    stretch_samples: usize,
+    phases: PhaseBreakdown,
     peak_rss_kb: Option<u64>,
     ubg_edge_hash: String,
     spanner_edge_hash: String,
@@ -91,6 +144,31 @@ fn edge_hash(graph: &WeightedGraph) -> String {
         mix(&e.weight.to_bits().to_le_bytes());
     }
     format!("{h:016x}")
+}
+
+/// Worst observed stretch over an evenly strided base-edge sample:
+/// budgeted bucket searches on the frozen spanner (budget comfortably
+/// above the target `t`, so a miss reads as `inf` rather than a capped
+/// value). Returns `(max stretch, samples)`.
+fn sampled_stretch(base: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> (f64, usize) {
+    let edges = base.sorted_edges();
+    if edges.is_empty() {
+        return (1.0, 0);
+    }
+    let csr = CsrGraph::from(spanner);
+    let config = BucketConfig::for_graph(&csr);
+    let mut scratch = BucketScratch::new();
+    let stride = (edges.len() / STRETCH_SAMPLE_TARGET).max(1);
+    let mut worst = 1.0_f64;
+    let mut samples = 0;
+    for e in edges.iter().step_by(stride) {
+        let d = scratch
+            .shortest_path_within(&csr, e.u, e.v, 4.0 * t * e.weight, &config)
+            .unwrap_or(f64::INFINITY);
+        worst = worst.max(d / e.weight);
+        samples += 1;
+    }
+    (worst, samples)
 }
 
 fn sizes() -> Vec<usize> {
@@ -134,13 +212,16 @@ fn run_one(n: usize) -> ScaleRun {
 
     let params = SpannerParams::for_epsilon(EPSILON, 1.0).expect("valid parameters");
     let t2 = Instant::now();
-    let (result, phase_seconds) = RelaxedGreedy::new(params).run_timed(&ubg);
+    let (result, timings) = RelaxedGreedy::new(params).run_timed(&ubg);
     let spanner_seconds = t2.elapsed().as_secs_f64();
     eprintln!(
         "[scale] n={n} spanner: {} edges, max degree {}, {spanner_seconds:.2}s",
         result.spanner.edge_count(),
         result.spanner.max_degree()
     );
+
+    let (stretch, stretch_samples) = sampled_stretch(ubg.graph(), &result.spanner, params.t);
+    eprintln!("[scale] n={n} sampled stretch {stretch:.4} over {stretch_samples} base edges");
 
     ScaleRun {
         n,
@@ -152,10 +233,93 @@ fn run_one(n: usize) -> ScaleRun {
         gen_seconds,
         ubg_seconds,
         spanner_seconds,
-        phase_seconds,
+        sampled_stretch: stretch,
+        stretch_samples,
+        phases: PhaseBreakdown::from_timings(&timings),
         peak_rss_kb: peak_rss_kb(),
         ubg_edge_hash: edge_hash(ubg.graph()),
         spanner_edge_hash: edge_hash(&result.spanner),
+    }
+}
+
+/// Writes a scalar leaf with the same conventions as the `serde_json`
+/// writer: shortest-roundtrip floats, `null` for non-finite values.
+fn write_scalar(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) if x.is_finite() => out.push_str(&format!("{x:?}")),
+        Value::Float(_) => out.push_str("null"),
+        Value::Str(s) => write_json_string(s, out),
+        Value::Array(_) | Value::Object(_) => unreachable!("composite passed to write_scalar"),
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Pretty-prints with objects one-key-per-line but *scalar arrays on a
+/// single line* — the phase breakdown's parallel arrays stay readable
+/// instead of exploding into one element per line. Keys keep struct
+/// declaration order, which keeps the file deterministic.
+fn write_compact(value: &Value, indent: usize, out: &mut String) {
+    const STEP: &str = "  ";
+    let is_scalar = |v: &Value| !matches!(v, Value::Array(_) | Value::Object(_));
+    match value {
+        Value::Array(items) if items.iter().all(is_scalar) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_scalar(item, out);
+            }
+            out.push(']');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&STEP.repeat(indent + 1));
+                write_compact(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&STEP.repeat(indent + 1));
+                write_json_string(key, out);
+                out.push_str(": ");
+                write_compact(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        scalar => write_scalar(scalar, out),
     }
 }
 
@@ -165,13 +329,16 @@ fn main() {
     // mark) is dominated by the final, largest run.
     sizes.sort_unstable();
     let report = ScaleReport {
-        schema: "tc-scale/1",
+        schema: "tc-scale/2",
         seed: SEED,
         target_degree: TARGET_DEGREE,
         epsilon: EPSILON,
         runs: sizes.into_iter().map(run_one).collect(),
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let value = report.to_value();
+    let mut json = String::new();
+    write_compact(&value, 0, &mut json);
+    json.push('\n');
     std::fs::write("BENCH_scale.json", &json).expect("BENCH_scale.json is writable");
     println!("{json}");
 }

@@ -106,8 +106,14 @@ impl AblationConfig {
 
 /// Runs the relaxed greedy construction with the given mechanisms enabled.
 ///
-/// With [`AblationConfig::full`] the output matches
-/// [`crate::RelaxedGreedy::run`] exactly.
+/// [`AblationConfig::full`] is the paper's pipeline with every step
+/// recomputed from scratch each phase — per-phase [`ClusterCover::greedy`]
+/// and [`build_cluster_graph`] — i.e. the reference oracle the production
+/// path's hierarchical phase engine (`relaxed::hierarchy`) is gated
+/// against. The engine reuses covers across phase levels and answers
+/// queries on a contracted cluster graph, so its output may differ edge
+/// for edge; both satisfy the paper's stretch/degree/weight invariants
+/// (see the equivalence tests here and `tests/paper_claims.rs`).
 pub fn run_ablation(
     ubg: &UnitBallGraph,
     params: SpannerParams,
@@ -288,13 +294,28 @@ mod tests {
     }
 
     #[test]
-    fn full_config_matches_the_reference_implementation() {
-        let ubg = sample(1, 90);
-        let reference = RelaxedGreedy::new(params()).run(&ubg);
-        let ablated = run_ablation(&ubg, params(), AblationConfig::full());
-        assert_eq!(reference.spanner.edge_count(), ablated.spanner.edge_count());
-        for e in reference.spanner.edges() {
-            assert!(ablated.spanner.has_edge(e.u, e.v));
+    fn full_config_is_paper_equivalent_to_the_production_engine() {
+        // The production path runs the hierarchical phase engine (frozen
+        // level covers, contracted cluster graphs), the full ablation the
+        // per-phase oracle pipeline. Their outputs may differ edge for
+        // edge, but both must be valid t-spanners of comparable size —
+        // the paper-invariant gate for the engine.
+        for seed in [1, 4, 11] {
+            let ubg = sample(seed, 90);
+            let engine = RelaxedGreedy::new(params()).run(&ubg);
+            let oracle = run_ablation(&ubg, params(), AblationConfig::full());
+            for result in [&engine, &oracle] {
+                let stretch = stretch_factor(ubg.graph(), &result.spanner);
+                assert!(stretch <= params().t + 1e-9, "stretch {stretch}");
+            }
+            let (a, b) = (
+                engine.spanner.edge_count() as f64,
+                oracle.spanner.edge_count() as f64,
+            );
+            assert!(
+                a <= 1.25 * b && b <= 1.25 * a,
+                "engine kept {a} edges, oracle {b} — not comparable"
+            );
         }
     }
 

@@ -35,7 +35,7 @@
 use crate::params::SpannerParams;
 use crate::relaxed::{
     analyze_redundancy, build_cluster_graph, removals_from_mis, select_query_edges, BinPartition,
-    ClusterCover, PhaseStats, SpannerResult,
+    ClusterCover, PhaseStats, PointCountMismatch, SpannerResult,
 };
 use crate::seq_greedy::seq_greedy_on_subset;
 use crate::weighting::EdgeWeighting;
@@ -158,18 +158,32 @@ impl DistributedRelaxedGreedy {
     /// Runs the distributed construction on a realised α-UBG.
     pub fn run(&self, ubg: &UnitBallGraph) -> DistributedSpannerResult {
         let graph = self.weighting.weighted_graph(ubg);
+        // weighted_graph() derives the graph from ubg.points(), so the
+        // counts agree by construction.
         self.run_on(ubg.points(), &graph)
+            // tc-lint: allow(panic-hygiene)
+            .expect("the UBG's own points match its graph by construction")
     }
 
     /// Runs the construction on an explicit (points, weighted graph) pair;
     /// see [`crate::RelaxedGreedy::run_on`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PointCountMismatch`] if `points` does not have exactly one
+    /// point per graph vertex.
     pub fn run_on<P: PointAccess + ?Sized>(
         &self,
         points: &P,
         graph: &WeightedGraph,
-    ) -> DistributedSpannerResult {
+    ) -> Result<DistributedSpannerResult, PointCountMismatch> {
         let n = graph.node_count();
-        assert_eq!(points.len(), n, "one point per graph vertex is required");
+        if points.len() != n {
+            return Err(PointCountMismatch {
+                points: points.len(),
+                nodes: n,
+            });
+        }
         let mut ledger = RoundLedger::new();
         let mut phases: Vec<PhaseStats> = Vec::new();
         let mut spanner = WeightedGraph::new(n);
@@ -207,7 +221,7 @@ impl DistributedRelaxedGreedy {
         }
 
         let total = ledger.total();
-        DistributedSpannerResult {
+        Ok(DistributedSpannerResult {
             result: SpannerResult {
                 spanner,
                 params: self.params,
@@ -220,7 +234,7 @@ impl DistributedRelaxedGreedy {
             log_n: log2_ceil(n),
             log_star_n: log_star(n),
             ledger,
-        }
+        })
     }
 
     /// Phase 0, Theorem 14: processing `E_0` takes `O(1)` rounds — one to

@@ -61,7 +61,7 @@ mod weighting;
 pub use ablation::{run_ablation, AblationConfig};
 pub use distributed::{DistributedRelaxedGreedy, DistributedSpannerResult, MisProtocol};
 pub use params::{ParamError, SpannerParams};
-pub use relaxed::{PhaseStats, RelaxedGreedy, SpannerResult};
+pub use relaxed::{PhaseStats, PointCountMismatch, RelaxedGreedy, SpannerResult};
 pub use seq_greedy::{seq_greedy, seq_greedy_on_subset};
 pub use weighting::EdgeWeighting;
 

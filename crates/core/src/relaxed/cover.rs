@@ -35,6 +35,23 @@ impl ClusterCover {
     ///
     /// Panics if `radius < 0`.
     pub fn greedy(graph: &WeightedGraph, radius: f64) -> Self {
+        Self::greedy_with_candidates(graph, radius, &[])
+    }
+
+    /// [`ClusterCover::greedy`] with an explicit candidate priority: the
+    /// nodes of `priority` are offered centre-hood first (in slice order),
+    /// then every remaining uncovered node in ascending id, so the result
+    /// is always a complete greedy cover. With an empty priority this *is*
+    /// the paper's construction; the hierarchical phase engine passes the
+    /// previous level's centres, which makes each new cluster a coarsening
+    /// of the contracted (previous-level) clusters wherever possible while
+    /// the claiming sweeps still run on the real graph — coverage radii
+    /// and centre separation are exact, never quotient approximations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius < 0` or a priority node is out of range.
+    pub fn greedy_with_candidates(graph: &WeightedGraph, radius: f64, priority: &[NodeId]) -> Self {
         assert!(radius >= 0.0, "the cluster radius must be non-negative");
         let n = graph.node_count();
         let mut centers = Vec::new();
@@ -46,7 +63,8 @@ impl ClusterCover {
         // keeps the cover construction near-linear at 10^6 nodes.
         let config = BucketConfig::for_graph(graph);
         let mut scratch = BucketScratch::new();
-        for u in 0..n {
+        for u in priority.iter().copied().chain(0..n) {
+            assert!(u < n, "priority node {u} is out of range");
             if cluster_of[u] != usize::MAX {
                 continue;
             }

@@ -1,0 +1,349 @@
+//! The hierarchical phase engine: contracted covers and incremental
+//! cluster graphs.
+//!
+//! The seed implementation recomputed steps (i) and (iii) of every phase —
+//! the cluster cover and the Das–Narasimhan cluster graph `H_{i-1}` — from
+//! scratch over the full `n`-node spanner. With ~625 weight bins at 10^6
+//! nodes that made the phase loop Θ(phases · n): the entire 1M build was
+//! the rescans (see docs/PERFORMANCE.md, "Phase engine").
+//!
+//! This engine exploits two structural facts of the paper's phase
+//! schedule:
+//!
+//! 1. **Covers freeze.** Phase `i` needs a cover of radius
+//!    `ρ_i = δ·W_{i-1}` with `δ < 1/2` (validated by
+//!    [`SpannerParams`](crate::SpannerParams)), while every edge the
+//!    phases *after* the cover's construction can add weighs more than
+//!    `W_{i-1} > 2ρ_i`. Paths of length ≤ `ρ_i` therefore never change
+//!    once the cover is built: both the coverage radii and the centre
+//!    separation of a cover remain *exactly* valid for the rest of the
+//!    run. A cover built at radius `ρ` can serve every later phase whose
+//!    radius is in `[ρ, Λ·ρ]` — coverage only tightens (`ρ ≤ ρ_i` keeps
+//!    every lemma that upper-bounds member distances), and separation
+//!    degrades by at most the constant `Λ` (a `Λ^d` factor in the packing
+//!    constants, not in any correctness argument). The engine thus keeps
+//!    one cover per geometric *level* and rebuilds only when the phase
+//!    radius outgrows `Λ·ρ` — `O(log_Λ(W_max/W_0))` rebuilds per run
+//!    (≈ 9 at the scale-bench parameters) instead of one per phase.
+//!
+//! 2. **Cluster graphs contract.** In `H_{i-1}` every non-centre node has
+//!    exactly one edge — to its centre, weighted by its recorded distance.
+//!    So for any two nodes `u, v` in distinct clusters,
+//!    `sp_H(u, v) = d(u) + sp_Q(a, b) + d(v)` where `Q` is the quotient
+//!    graph on the *centres* alone. The engine maintains `Q` incrementally
+//!    as a [`Contraction`]: a full (deterministic-order) edge scan seeds it
+//!    at each level rebuild, and afterwards each phase folds in only the
+//!    edges it actually added. Every quotient edge weight is a real walk
+//!    through the centres (`d(u) + w + d(v)` for a crossing edge
+//!    `{u, v}`), so quotient distances upper-bound true spanner distances
+//!    — a "no" answer to `sp_H(u,v) ≤ t·w` can only over-add edges, never
+//!    break the stretch argument. The seed path's Lemma-5 centre sweeps
+//!    (direct centre–centre edges with exact distances, condition (i) of
+//!    Section 2.2.3) are dropped: nearby centres without a crossing edge
+//!    are still connected in `Q` through intermediate clusters, at a
+//!    ≤ `2ρ`-per-hop overestimate that the `t − t1` margin absorbs. The
+//!    effect is a slight shift in which query edges get added, not a
+//!    weaker guarantee (EXPERIMENTS.md records the shift).
+//!
+//! Each phase freezes `Q` into a [`CsrGraph`] snapshot before answering
+//! its queries — the repo's "mutate on `WeightedGraph`, measure on
+//! `CsrGraph`" rule, which the seed path violated by querying the live
+//! adjacency-list `H`.
+
+use super::cover::ClusterCover;
+use tc_graph::bucket::{BucketConfig, BucketScratch};
+use tc_graph::{par, Contraction, CsrGraph, Edge, NodeId, WeightedGraph};
+
+/// Geometric growth factor `Λ` between cover levels: a level built at
+/// radius `ρ` serves every phase with radius in `[ρ, Λ·ρ]`. Larger values
+/// mean fewer rebuilds but a looser effective centre separation
+/// (`≥ ρ_phase/Λ`), which costs a `Λ^d` factor in the packing constants
+/// behind the degree bound. 2 keeps both within a small constant of the
+/// per-phase-rebuild baseline.
+const LEVEL_GROWTH: f64 = 2.0;
+
+/// Persistent state of the hierarchical phase engine across the phases of
+/// one relaxed-greedy run.
+#[derive(Debug)]
+pub(crate) struct PhaseEngine {
+    level_radius: f64,
+    cover: Option<ClusterCover>,
+    contraction: Option<Contraction>,
+    rebuilds: usize,
+}
+
+impl PhaseEngine {
+    /// A fresh engine with no cover level yet.
+    pub fn new() -> Self {
+        Self {
+            level_radius: 0.0,
+            cover: None,
+            contraction: None,
+            rebuilds: 0,
+        }
+    }
+
+    /// Ensures the engine holds a cover usable for a phase of radius
+    /// `radius` over the current `spanner`, rebuilding the level if the
+    /// radius outgrew it. Returns whether a rebuild happened.
+    ///
+    /// On rebuild the previous level's centres are offered centre-hood
+    /// first (ascending id), so each new cluster is a union of
+    /// previous-level clusters wherever the radii allow — the new cover is
+    /// computed *over the contracted structure* — while the claiming
+    /// sweeps run on the real spanner, keeping coverage distances and
+    /// centre separation exact rather than quotient-approximate.
+    pub fn prepare(&mut self, spanner: &WeightedGraph, radius: f64) -> bool {
+        if self.cover.is_some() && radius <= LEVEL_GROWTH * self.level_radius {
+            return false;
+        }
+        let priority: Vec<NodeId> = match &self.cover {
+            Some(cover) => {
+                let mut centers = cover.centers().to_vec();
+                centers.sort_unstable();
+                centers
+            }
+            None => Vec::new(),
+        };
+        let cover = ClusterCover::greedy_with_candidates(spanner, radius, &priority);
+        let n = spanner.node_count();
+        let assignment: Vec<u32> = (0..n).map(|v| cover.cluster_of(v) as u32).collect();
+        let offsets: Vec<f64> = (0..n).map(|v| cover.dist_to_center(v)).collect();
+        self.contraction = Some(Contraction::from_graph(
+            spanner,
+            assignment,
+            offsets,
+            cover.cluster_count(),
+        ));
+        self.cover = Some(cover);
+        self.level_radius = radius;
+        self.rebuilds += 1;
+        true
+    }
+
+    /// The current level's cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`PhaseEngine::prepare`] has never been called.
+    pub fn cover(&self) -> &ClusterCover {
+        // Documented API contract (see `# Panics` above): the phase loop
+        // calls prepare() first. tc-lint: allow(panic-hygiene)
+        self.cover.as_ref().expect("prepare() establishes a cover")
+    }
+
+    /// The current contraction (quotient graph over the level's clusters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`PhaseEngine::prepare`] has never been called.
+    pub fn contraction(&self) -> &Contraction {
+        // Documented API contract (see `# Panics` above): the phase loop
+        // calls prepare() first.
+        self.contraction
+            .as_ref()
+            // tc-lint: allow(panic-hygiene)
+            .expect("prepare() establishes a contraction")
+    }
+
+    /// Number of level rebuilds so far (for stats and tests).
+    #[cfg(test)]
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Freezes the quotient into an immutable CSR snapshot (plus its
+    /// bucket configuration) for the phase's query fan-out.
+    pub fn freeze(&self) -> (CsrGraph, BucketConfig) {
+        let csr = CsrGraph::from(self.contraction().quotient());
+        let config = BucketConfig::for_graph(&csr);
+        (csr, config)
+    }
+
+    /// Step (iv): answers the phase's spanner-path queries on the frozen
+    /// snapshot. Entry `k` is `true` when query edge `k` must be added —
+    /// i.e. `sp_H(u, v) > t·w(u, v)` on the contracted `H`. The queries
+    /// are independent (all measured on the same frozen snapshot), so they
+    /// fan out over `TC_THREADS` workers with a reusable scratch each;
+    /// the in-order merge keeps the verdict vector deterministic.
+    pub fn answer_queries(
+        &self,
+        csr: &CsrGraph,
+        config: &BucketConfig,
+        query_edges: &[Edge],
+        t: f64,
+    ) -> Vec<bool> {
+        let contraction = self.contraction();
+        par::par_map_with(query_edges, 0, BucketScratch::new, |scratch, _idx, edge| {
+            let (su, du) = contraction.project(edge.u);
+            let (sv, dv) = contraction.project(edge.v);
+            // Any H-path between distinct clusters starts and ends
+            // with the endpoints' centre edges, so the quotient search
+            // only needs the remaining budget.
+            let remaining = t * edge.weight - du - dv;
+            if remaining < 0.0 {
+                return true;
+            }
+            scratch
+                .shortest_path_within(csr, su, sv, remaining, config)
+                .is_none()
+        })
+    }
+
+    /// Folds the edges a phase decided to keep into the quotient. Call
+    /// *after* redundancy removal so withdrawn edges never touch the
+    /// contraction (they only ever removed same-phase additions, which are
+    /// absorbed here and nowhere else).
+    pub fn absorb_kept(&mut self, kept: impl IntoIterator<Item = Edge>) {
+        // Same prepare()-first contract as contraction().
+        let contraction = self
+            .contraction
+            .as_mut()
+            // tc-lint: allow(panic-hygiene)
+            .expect("prepare() establishes a contraction");
+        for e in kept {
+            contraction.absorb(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A random connected-ish weighted graph with weights in
+    /// `[w_lo, w_hi)`.
+    fn random_graph(
+        rng: &mut rand::rngs::StdRng,
+        n: usize,
+        p: f64,
+        w_lo: f64,
+        w_hi: f64,
+    ) -> WeightedGraph {
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(u, v, rng.gen_range(w_lo..w_hi));
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn first_prepare_matches_the_oracle_greedy_cover() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = random_graph(&mut rng, 30, 0.2, 0.1, 1.0);
+        let mut engine = PhaseEngine::new();
+        assert!(engine.prepare(&g, 0.3));
+        let oracle = ClusterCover::greedy(&g, 0.3);
+        assert_eq!(engine.cover().centers(), oracle.centers());
+        for v in 0..30 {
+            assert_eq!(engine.cover().cluster_of(v), oracle.cluster_of(v));
+            assert_eq!(engine.cover().dist_to_center(v), oracle.dist_to_center(v));
+        }
+    }
+
+    #[test]
+    fn radii_within_the_level_growth_reuse_the_cover() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let g = random_graph(&mut rng, 40, 0.15, 0.1, 1.0);
+        let mut engine = PhaseEngine::new();
+        assert!(engine.prepare(&g, 0.2));
+        assert!(!engine.prepare(&g, 0.3));
+        assert!(!engine.prepare(&g, 0.2 * LEVEL_GROWTH));
+        assert_eq!(engine.rebuilds(), 1);
+        assert!(engine.prepare(&g, 0.2 * LEVEL_GROWTH + 1e-9));
+        assert_eq!(engine.rebuilds(), 2);
+    }
+
+    #[test]
+    fn quotient_matches_full_edge_scan_after_incremental_absorption() {
+        // Seed a contraction from a partial graph, absorb the remaining
+        // edges one by one, and compare against a bulk rebuild over the
+        // final graph with the same cover.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut g = random_graph(&mut rng, 25, 0.2, 0.2, 1.0);
+        let mut engine = PhaseEngine::new();
+        engine.prepare(&g, 0.25);
+        let cover = engine.cover().clone();
+        // Edges heavier than twice the radius keep the cover frozen-valid.
+        let extra: Vec<Edge> = (0..8)
+            .filter_map(|_| {
+                let (u, v) = (rng.gen_range(0..25), rng.gen_range(0..25));
+                (u != v && !g.has_edge(u, v)).then(|| Edge::new(u, v, rng.gen_range(0.8..1.5)))
+            })
+            .collect();
+        for &e in &extra {
+            g.add(e);
+        }
+        engine.absorb_kept(extra.iter().copied());
+        let n = g.node_count();
+        let assignment: Vec<u32> = (0..n).map(|v| cover.cluster_of(v) as u32).collect();
+        let offsets: Vec<f64> = (0..n).map(|v| cover.dist_to_center(v)).collect();
+        let bulk = Contraction::from_graph(&g, assignment, offsets, cover.cluster_count());
+        assert_eq!(
+            engine.contraction().quotient().sorted_edges(),
+            bulk.quotient().sorted_edges()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The tentpole's gating property (satellite: reuse
+        /// `is_valid_cover`): across a phase schedule with geometrically
+        /// growing radii and ever-heavier edge additions — the shape the
+        /// relaxed-greedy loop guarantees — the engine's contracted cover
+        /// remains a valid cover of the *current* spanner at every phase,
+        /// including the phases that reuse a frozen level.
+        #[test]
+        fn contracted_cover_stays_valid_across_phases(
+            seed in 0u64..300,
+            n in 5usize..36,
+            p in 0.08f64..0.4,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // All candidate edges, sorted ascending by weight like the bin
+            // partition would.
+            let mut edges: Vec<Edge> = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(p) {
+                        edges.push(Edge::new(u, v, rng.gen_range(0.01..1.0)));
+                    }
+                }
+            }
+            edges.sort();
+            let mut spanner = WeightedGraph::new(n);
+            let mut engine = PhaseEngine::new();
+            let delta = 0.45; // < 1/2, like every validated parameter set
+            let chunk = 4.max(edges.len() / 6);
+            let mut processed = 0;
+            let mut w_prev = 0.0_f64;
+            while processed < edges.len() {
+                // Phase radius from the heaviest edge already *in* the
+                // spanner — the next chunk's edges are all heavier.
+                let radius = delta * w_prev;
+                engine.prepare(&spanner, radius);
+                prop_assert!(
+                    engine.cover().is_valid_cover(&spanner),
+                    "cover invalid at radius {radius} with {} spanner edges",
+                    spanner.edge_count()
+                );
+                let next = (processed + chunk).min(edges.len());
+                for e in &edges[processed..next] {
+                    spanner.add(*e);
+                    w_prev = w_prev.max(e.weight);
+                }
+                engine.absorb_kept(edges[processed..next].iter().copied());
+                processed = next;
+            }
+            // Final check after all additions.
+            engine.prepare(&spanner, delta * w_prev);
+            prop_assert!(engine.cover().is_valid_cover(&spanner));
+        }
+    }
+}

@@ -18,6 +18,16 @@
 //! 4. mutually redundant edges added in the same phase are pruned through
 //!    an MIS of their conflict graph, which the weight bound needs.
 //!
+//! The phase loop executes steps (i), (iii) and (iv) through the
+//! `hierarchy` engine: covers are kept frozen across geometric *levels*
+//! of phases and rebuilt on the previous level's contraction, and the
+//! cluster graph is maintained incrementally as a quotient
+//! ([`tc_graph::Contraction`]) that each phase freezes into a CSR snapshot
+//! for its query fan-out. The per-phase cost then tracks the shrinking
+//! cluster count instead of `n` — see `docs/PERFORMANCE.md`, "Phase
+//! engine". [`build_cluster_graph`] remains the per-phase oracle that the
+//! engine's equivalence tests and the distributed path build on.
+//!
 //! The distributed algorithm ([`DistributedRelaxedGreedy`](crate::DistributedRelaxedGreedy)) runs exactly this
 //! phase structure, replacing each step with its message-passing
 //! counterpart.
@@ -25,6 +35,7 @@
 mod bins;
 mod cluster_graph;
 mod cover;
+mod hierarchy;
 mod query;
 mod redundant;
 
@@ -33,18 +44,47 @@ pub use cluster_graph::{build_cluster_graph, ClusterGraphStats};
 pub use cover::ClusterCover;
 pub use query::{is_covered, select_query_edges, QuerySelection};
 pub use redundant::{
-    analyze_redundancy, removals_from_mis, sequential_redundant_removals, RedundancyAnalysis,
+    analyze_redundancy, analyze_redundancy_contracted, contracted_redundant_removals,
+    removals_from_mis, sequential_redundant_removals, RedundancyAnalysis,
 };
 
 use crate::params::SpannerParams;
 use crate::seq_greedy::seq_greedy_on_subset;
 use crate::weighting::EdgeWeighting;
+use hierarchy::PhaseEngine;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::time::Instant;
 use tc_geometry::PointAccess;
-use tc_graph::bucket::{BucketConfig, BucketScratch};
 use tc_graph::{components, par, Edge, WeightedGraph};
 use tc_ubg::UnitBallGraph;
+
+/// The `points` slice handed to a construction does not have one point per
+/// graph vertex.
+///
+/// Returned by [`RelaxedGreedy::run_on`] (and the distributed
+/// counterpart); [`RelaxedGreedy::run`] cannot hit it because it derives
+/// the graph from the UBG's own points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointCountMismatch {
+    /// Number of points supplied.
+    pub points: usize,
+    /// Number of vertices in the graph.
+    pub nodes: usize,
+}
+
+impl fmt::Display for PointCountMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} points supplied for a graph with {} vertices; \
+             one point per graph vertex is required",
+            self.points, self.nodes
+        )
+    }
+}
+
+impl std::error::Error for PointCountMismatch {}
 
 /// Wall-clock duration of one construction phase.
 ///
@@ -56,8 +96,35 @@ use tc_ubg::UnitBallGraph;
 pub struct PhaseTiming {
     /// Bin index `i` the timed phase processed.
     pub bin: usize,
-    /// Wall-clock seconds the phase took.
+    /// Wall-clock seconds the whole phase took.
     pub seconds: f64,
+    /// Step (i): cluster-cover preparation (0 when the engine reused the
+    /// frozen level, and for phase 0).
+    pub cover_seconds: f64,
+    /// Step (ii): query-edge selection (0 for phase 0).
+    pub selection_seconds: f64,
+    /// Step (iii): freezing the cluster-graph quotient into its CSR
+    /// snapshot (0 for phase 0).
+    pub h_build_seconds: f64,
+    /// Step (iv): answering the spanner-path queries (0 for phase 0).
+    pub query_seconds: f64,
+    /// Step (v): redundant-edge analysis and removal (0 for phase 0).
+    pub redundant_seconds: f64,
+}
+
+impl PhaseTiming {
+    /// A zeroed timing record for bin `bin`.
+    pub fn for_bin(bin: usize) -> Self {
+        Self {
+            bin,
+            seconds: 0.0,
+            cover_seconds: 0.0,
+            selection_seconds: 0.0,
+            h_build_seconds: 0.0,
+            query_seconds: 0.0,
+            redundant_seconds: 0.0,
+        }
+    }
 }
 
 /// Per-phase statistics of a relaxed-greedy run.
@@ -164,7 +231,11 @@ impl RelaxedGreedy {
     /// Runs the construction on a realised α-UBG.
     pub fn run(&self, ubg: &UnitBallGraph) -> SpannerResult {
         let graph = self.weighting.weighted_graph(ubg);
+        // weighted_graph() derives the graph from ubg.points(), so the
+        // counts agree by construction.
         self.run_on(ubg.points(), &graph)
+            // tc-lint: allow(panic-hygiene)
+            .expect("the UBG's own points match its graph by construction")
     }
 
     /// Runs the construction on a realised α-UBG, additionally recording
@@ -172,30 +243,44 @@ impl RelaxedGreedy {
     /// [`PhaseTiming`] for why timings live outside [`SpannerResult`]).
     pub fn run_timed(&self, ubg: &UnitBallGraph) -> (SpannerResult, Vec<PhaseTiming>) {
         let graph = self.weighting.weighted_graph(ubg);
+        // weighted_graph() derives the graph from ubg.points(), so the
+        // counts agree by construction.
         self.run_on_timed(ubg.points(), &graph)
+            // tc-lint: allow(panic-hygiene)
+            .expect("the UBG's own points match its graph by construction")
     }
 
     /// Runs the construction on an explicit (points, weighted graph) pair.
     /// The graph's weights must be consistent with the configured
     /// weighting applied to the points; [`RelaxedGreedy::run`] guarantees
     /// this, tests may construct their own inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PointCountMismatch`] if `points` does not have exactly one
+    /// point per graph vertex.
     pub fn run_on<P: PointAccess + ?Sized>(
         &self,
         points: &P,
         graph: &WeightedGraph,
-    ) -> SpannerResult {
+    ) -> Result<SpannerResult, PointCountMismatch> {
         self.run_on_impl(points, graph, None)
     }
 
     /// [`RelaxedGreedy::run_on`] with per-phase wall-clock timings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PointCountMismatch`] if `points` does not have exactly one
+    /// point per graph vertex.
     pub fn run_on_timed<P: PointAccess + ?Sized>(
         &self,
         points: &P,
         graph: &WeightedGraph,
-    ) -> (SpannerResult, Vec<PhaseTiming>) {
+    ) -> Result<(SpannerResult, Vec<PhaseTiming>), PointCountMismatch> {
         let mut timings = Vec::new();
-        let result = self.run_on_impl(points, graph, Some(&mut timings));
-        (result, timings)
+        let result = self.run_on_impl(points, graph, Some(&mut timings))?;
+        Ok((result, timings))
     }
 
     fn run_on_impl<P: PointAccess + ?Sized>(
@@ -203,48 +288,60 @@ impl RelaxedGreedy {
         points: &P,
         graph: &WeightedGraph,
         mut timings: Option<&mut Vec<PhaseTiming>>,
-    ) -> SpannerResult {
+    ) -> Result<SpannerResult, PointCountMismatch> {
         let n = graph.node_count();
-        assert_eq!(points.len(), n, "one point per graph vertex is required");
+        if points.len() != n {
+            return Err(PointCountMismatch {
+                points: points.len(),
+                nodes: n,
+            });
+        }
         let mut phases = Vec::new();
         let mut spanner = WeightedGraph::new(n);
         if n == 0 || graph.is_edgeless() {
-            return SpannerResult {
+            return Ok(SpannerResult {
                 spanner,
                 params: self.params,
                 weighting: self.weighting,
                 phases,
-            };
+            });
         }
 
         let w0 = self.weighting.weight_of_distance(self.params.alpha) / n as f64;
         let bins = BinPartition::new(graph, w0, self.params.r);
+        let mut engine = PhaseEngine::new();
 
         for bin_index in bins.non_empty_bins() {
             let phase_start = Instant::now();
+            let mut timing = PhaseTiming::for_bin(bin_index);
             let bin_edges = bins.bin(bin_index);
             if bin_index == 0 {
                 let stats = self.process_short_edges(&mut spanner, bin_edges, &bins);
                 phases.push(stats);
             } else {
-                let stats =
-                    self.process_long_edges(points, &mut spanner, bin_edges, &bins, bin_index);
+                let stats = self.process_long_edges(
+                    points,
+                    &mut spanner,
+                    bin_edges,
+                    &bins,
+                    bin_index,
+                    &mut engine,
+                    &mut timing,
+                );
                 phases.push(stats);
             }
             if let Some(timings) = timings.as_deref_mut() {
-                timings.push(PhaseTiming {
-                    bin: bin_index,
-                    seconds: phase_start.elapsed().as_secs_f64(),
-                });
+                timing.seconds = phase_start.elapsed().as_secs_f64();
+                timings.push(timing);
             }
         }
 
-        SpannerResult {
+        Ok(SpannerResult {
             spanner,
             params: self.params,
             weighting: self.weighting,
             phases,
-        }
+        })
     }
 
     /// Phase 0 (Section 2.1): the graph `G_0` of short edges has clique
@@ -299,7 +396,10 @@ impl RelaxedGreedy {
     }
 
     /// Phase `i ≥ 1` (Section 2.2): cluster cover, query-edge selection,
-    /// cluster graph, query answering, redundant-edge removal.
+    /// cluster graph, query answering, redundant-edge removal — steps (i),
+    /// (iii), (iv) and (v) running through the hierarchical [`PhaseEngine`]
+    /// (frozen level covers, incremental contraction, CSR snapshots).
+    #[allow(clippy::too_many_arguments)]
     fn process_long_edges<P: PointAccess + ?Sized>(
         &self,
         points: &P,
@@ -307,45 +407,47 @@ impl RelaxedGreedy {
         bin_edges: &[Edge],
         bins: &BinPartition,
         bin_index: usize,
+        engine: &mut PhaseEngine,
+        timing: &mut PhaseTiming,
     ) -> PhaseStats {
         let w_prev = bins.upper(bin_index - 1);
         let radius = self.params.delta * w_prev;
 
-        // Step (i): cluster cover of G'_{i-1}.
-        let cover = ClusterCover::greedy(spanner, radius);
+        // Step (i): cluster cover of G'_{i-1} — reused from the engine's
+        // frozen level when the radius still fits, rebuilt on the previous
+        // level's contraction otherwise.
+        let step = Instant::now();
+        engine.prepare(spanner, radius);
+        timing.cover_seconds = step.elapsed().as_secs_f64();
+        let clusters = engine.cover().cluster_count();
 
         // Step (ii): query-edge selection.
+        let step = Instant::now();
         let selection = select_query_edges(
             points,
             &self.params,
             self.weighting,
             spanner,
-            &cover,
+            engine.cover(),
             bin_edges,
         );
+        timing.selection_seconds = step.elapsed().as_secs_f64();
 
-        // Step (iii): cluster graph H_{i-1}.
-        let (h, _h_stats) = build_cluster_graph(spanner, &cover, w_prev, self.params.delta);
+        // Step (iii): the cluster graph H_{i-1}, represented by the
+        // engine's incrementally maintained quotient and frozen here into
+        // an immutable CSR snapshot for this phase's queries.
+        let step = Instant::now();
+        let (csr, csr_config) = engine.freeze();
+        timing.h_build_seconds = step.elapsed().as_secs_f64();
 
-        // Step (iv): answer the spanner-path queries on H_{i-1}. The bin's
-        // queries are all asked on the same *frozen* H (lazy updates), so
-        // they are independent: fan them over TC_THREADS workers, one
-        // budgeted bucket search each on a per-worker scratch, and apply
-        // the verdicts in query order so the spanner's insertion order
-        // matches the sequential loop exactly.
-        let h_config = BucketConfig::for_graph(&h);
-        let t = self.params.t;
-        let needs_edge: Vec<bool> = par::par_map_with(
-            &selection.query_edges,
-            0,
-            BucketScratch::new,
-            |h_scratch, _idx, edge| {
-                let budget = t * edge.weight;
-                h_scratch
-                    .shortest_path_within(&h, edge.u, edge.v, budget, &h_config)
-                    .is_none()
-            },
-        );
+        // Step (iv): answer the spanner-path queries on the snapshot. The
+        // bin's queries are all asked on the same *frozen* H (lazy
+        // updates), so they are independent; the engine fans them over
+        // TC_THREADS workers and merges verdicts in query order, keeping
+        // the spanner's insertion order identical to a sequential loop.
+        let step = Instant::now();
+        let needs_edge =
+            engine.answer_queries(&csr, &csr_config, &selection.query_edges, self.params.t);
         let mut added: Vec<Edge> = Vec::new();
         for (edge, needed) in selection.query_edges.iter().zip(needs_edge) {
             if needed {
@@ -355,19 +457,41 @@ impl RelaxedGreedy {
         for e in &added {
             spanner.add(*e);
         }
+        timing.query_seconds = step.elapsed().as_secs_f64();
 
-        // Step (v): remove mutually redundant edges.
-        let removals = sequential_redundant_removals(&added, &h, self.params.t1);
+        // Step (v): remove mutually redundant edges, then fold the kept
+        // additions into the quotient so the next phase's H sees them.
+        // Removals only ever withdraw this phase's own additions, so
+        // absorbing after removal keeps the contraction exact without any
+        // quotient-deletion machinery.
+        let step = Instant::now();
+        let removals = contracted_redundant_removals(
+            &added,
+            engine.contraction(),
+            &csr,
+            &csr_config,
+            self.params.t1,
+        );
+        let mut keep = vec![true; added.len()];
         for &idx in &removals {
+            keep[idx] = false;
             let e = added[idx];
             let _ = spanner.remove_edge(e.u, e.v);
         }
+        engine.absorb_kept(
+            added
+                .iter()
+                .zip(&keep)
+                .filter(|&(_, &kept)| kept)
+                .map(|(&e, _)| e),
+        );
+        timing.redundant_seconds = step.elapsed().as_secs_f64();
 
         PhaseStats {
             bin: bin_index,
             bin_upper: bins.upper(bin_index),
             edges_in_bin: bin_edges.len(),
-            clusters: cover.cluster_count(),
+            clusters,
             covered_edges: selection.covered,
             same_cluster_edges: selection.same_cluster,
             candidate_edges: selection.candidates,
@@ -528,11 +652,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one point per graph vertex")]
     fn run_on_requires_matching_points() {
         let params = SpannerParams::for_epsilon(0.5, 1.0).unwrap();
         let graph = WeightedGraph::new(3);
-        let _ = RelaxedGreedy::new(params).run_on(&[Point::new2(0.0, 0.0)], &graph);
+        let err = RelaxedGreedy::new(params)
+            .run_on(&[Point::new2(0.0, 0.0)], &graph)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PointCountMismatch {
+                points: 1,
+                nodes: 3
+            }
+        );
+        assert!(err.to_string().contains("one point per graph vertex"));
     }
 
     proptest! {

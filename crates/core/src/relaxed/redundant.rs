@@ -17,7 +17,7 @@
 //! which is what the stretch argument needs.
 
 use tc_graph::bucket::{BucketConfig, BucketScratch};
-use tc_graph::{mis, Edge, NodeId, WeightedGraph};
+use tc_graph::{mis, Contraction, CsrGraph, Edge, NodeId, WeightedGraph};
 
 /// The conflict structure among the edges added in one phase.
 #[derive(Debug, Clone)]
@@ -42,7 +42,7 @@ impl RedundancyAnalysis {
 /// current phase), measuring path lengths on the cluster graph `h`.
 pub fn analyze_redundancy(added: &[Edge], h: &WeightedGraph, t1: f64) -> RedundancyAnalysis {
     assert!(t1 > 1.0, "t1 must exceed 1");
-    let mut conflict_graph = WeightedGraph::new(added.len());
+    let conflict_graph = WeightedGraph::new(added.len());
     if added.len() < 2 {
         return RedundancyAnalysis {
             conflict_graph,
@@ -56,8 +56,7 @@ pub fn analyze_redundancy(added: &[Edge], h: &WeightedGraph, t1: f64) -> Redunda
     // endpoints) instead of materialising an O(n) distance vector per
     // endpoint — the latter is quadratic over a whole run and was the
     // scale bottleneck (see docs/PERFORMANCE.md).
-    let max_w = added.iter().map(|e| e.weight).fold(0.0_f64, f64::max);
-    let budget = t1 * max_w;
+    let budget = leg_budget(added, t1);
     let mut endpoints: Vec<NodeId> = added.iter().flat_map(|e| [e.u, e.v]).collect();
     endpoints.sort_unstable();
     endpoints.dedup();
@@ -83,7 +82,168 @@ pub fn analyze_redundancy(added: &[Edge], h: &WeightedGraph, t1: f64) -> Redunda
     let sp = |x: NodeId, y: NodeId| -> f64 {
         dmat[endpoint_index[x] as usize * k + endpoint_index[y] as usize]
     };
+    conflict_pairs(added, t1, sp, conflict_graph)
+}
 
+/// The largest `H`-distance any single leg of a qualifying redundancy
+/// condition can have. Both conditions require
+/// `sp_H(x, x') + sp_H(y, y') + w(e2) ≤ t1·w(e1)`, so every leg is at
+/// most `t1·max_w − min_w` over the phase's added edges — with the
+/// geometric bins keeping `max_w/min_w ≤ r`, this is a small fraction of
+/// `t1·max_w` and shrinks each sweep's ball by the square of that
+/// fraction.
+fn leg_budget(added: &[Edge], t1: f64) -> f64 {
+    let max_w = added.iter().map(|e| e.weight).fold(0.0_f64, f64::max);
+    let min_w = added.iter().map(|e| e.weight).fold(f64::INFINITY, f64::min);
+    t1 * max_w - min_w
+}
+
+/// [`analyze_redundancy`] with path lengths measured on the *contracted*
+/// cluster graph instead of the full `n`-node `H`: `csr` is the frozen
+/// CSR snapshot of `contraction.quotient()` (one node per cluster), and a
+/// non-centre endpoint `x` reaches the quotient through its projection,
+/// so `sp_H(x, y) = offset(x) + sp_Q(super(x), super(y)) + offset(y)`.
+/// Every non-centre node of the full `H` has exactly one edge (to its
+/// centre), so this equality is exact — the contracted analysis finds the
+/// same conflicts `H` would, without ever materialising `H`.
+///
+/// Unlike the oracle above, this path never builds a dense `k×k` distance
+/// matrix or tests all `O(a²)` edge pairs: it keeps one sparse distance
+/// row per endpoint supernode (only the ball the budgeted sweep settles)
+/// and derives candidate pairs from ball membership — a pair with no
+/// endpoint in any shared ball has every pairing sum infinite and cannot
+/// conflict. At 10^6 nodes the dense form allocated gigabytes per phase
+/// and its scattered lookups dominated the whole build (see
+/// docs/PERFORMANCE.md, "Phase engine").
+pub fn analyze_redundancy_contracted(
+    added: &[Edge],
+    contraction: &Contraction,
+    csr: &CsrGraph,
+    config: &BucketConfig,
+    t1: f64,
+) -> RedundancyAnalysis {
+    assert!(t1 > 1.0, "t1 must exceed 1");
+    let mut conflict_graph = WeightedGraph::new(added.len());
+    if added.len() < 2 {
+        return RedundancyAnalysis {
+            conflict_graph,
+            involved: Vec::new(),
+        };
+    }
+    let budget = leg_budget(added, t1);
+    let mut supers: Vec<usize> = added
+        .iter()
+        .flat_map(|e| [e.u, e.v])
+        .map(|x| contraction.supernode_of(x))
+        .collect();
+    supers.sort_unstable();
+    supers.dedup();
+    let mut super_index: Vec<u32> = vec![u32::MAX; contraction.supernode_count()];
+    for (i, &s) in supers.iter().enumerate() {
+        super_index[s] = i as u32;
+    }
+    let k = supers.len();
+
+    // One sparse row per distinct endpoint supernode: the (index, dist)
+    // pairs of the other endpoint supernodes inside its budgeted ball,
+    // sorted by index for binary-search lookup. Each node is settled at
+    // most once per sweep with a distance bitwise identical to the
+    // bounded Dijkstra's, so sorting makes the row independent of the
+    // (unspecified) visit order.
+    let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(k);
+    let mut scratch = BucketScratch::new();
+    for &s in &supers {
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        scratch.for_each_within(csr, s, budget, config, |v, d| {
+            let j = super_index[v];
+            if j != u32::MAX {
+                row.push((j, d));
+            }
+        });
+        row.sort_unstable_by_key(|&(j, _)| j);
+        rows.push(row);
+    }
+    let sp_quotient = |i: usize, j: usize| -> f64 {
+        match rows[i].binary_search_by_key(&(j as u32), |&(x, _)| x) {
+            Ok(pos) => rows[i][pos].1,
+            Err(_) => f64::INFINITY,
+        }
+    };
+    let sp = |x: NodeId, y: NodeId| -> f64 {
+        if x == y {
+            return 0.0;
+        }
+        let (sx, dx) = contraction.project(x);
+        let (sy, dy) = contraction.project(y);
+        let (si, sj) = (super_index[sx] as usize, super_index[sy] as usize);
+        dx + sp_quotient(si, sj) + dy
+    };
+
+    // Candidate pairs by ball membership: for edges to conflict, each of
+    // e1's endpoints must reach one of e2's within the leg budget, so in
+    // particular some endpoint of e2 lies in a ball of e1's. Pairs never
+    // generated here have an infinite leg in every pairing.
+    let mut edges_at: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (idx, e) in added.iter().enumerate() {
+        for x in [e.u, e.v] {
+            let j = super_index[contraction.supernode_of(x)] as usize;
+            edges_at[j].push(idx as u32);
+        }
+    }
+    let mut candidates: Vec<(u32, u32)> = Vec::new();
+    for (idx, e) in added.iter().enumerate() {
+        for x in [e.u, e.v] {
+            let i = super_index[contraction.supernode_of(x)] as usize;
+            for &(j, _) in &rows[i] {
+                for &other in &edges_at[j as usize] {
+                    if (other as usize) > idx {
+                        candidates.push((idx as u32, other));
+                    }
+                }
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let mut involved = vec![false; added.len()];
+    for &(i, j) in &candidates {
+        let (i, j) = (i as usize, j as usize);
+        let (e1, e2) = (added[i], added[j]);
+        // Pairing A: u<->u', v<->v'. Pairing B: u<->v', v<->u'.
+        let pairings = [
+            sp(e1.u, e2.u) + sp(e1.v, e2.v),
+            sp(e1.u, e2.v) + sp(e1.v, e2.u),
+        ];
+        let redundant = pairings.iter().any(|&s| {
+            s + e2.weight <= t1 * e1.weight + 1e-12 && s + e1.weight <= t1 * e2.weight + 1e-12
+        });
+        if redundant {
+            conflict_graph.add_edge(i, j, 1.0);
+            involved[i] = true;
+            involved[j] = true;
+        }
+    }
+    RedundancyAnalysis {
+        conflict_graph,
+        involved: involved
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x)
+            .map(|(i, _)| i)
+            .collect(),
+    }
+}
+
+/// The shared pairing loop of the two analyses: tests both endpoint
+/// pairings of every edge pair against the mutual-redundancy conditions
+/// and records conflicts.
+fn conflict_pairs(
+    added: &[Edge],
+    t1: f64,
+    sp: impl Fn(NodeId, NodeId) -> f64,
+    mut conflict_graph: WeightedGraph,
+) -> RedundancyAnalysis {
     let mut involved = vec![false; added.len()];
     for i in 0..added.len() {
         for j in (i + 1)..added.len() {
@@ -132,6 +292,24 @@ pub fn removals_from_mis(analysis: &RedundancyAnalysis, chosen: &[usize]) -> Vec
 /// the edges to remove.
 pub fn sequential_redundant_removals(added: &[Edge], h: &WeightedGraph, t1: f64) -> Vec<usize> {
     let analysis = analyze_redundancy(added, h, t1);
+    if analysis.is_trivial() {
+        return Vec::new();
+    }
+    let chosen = mis::greedy_mis(&analysis.conflict_graph);
+    removals_from_mis(&analysis, &chosen)
+}
+
+/// [`sequential_redundant_removals`] on the contracted cluster graph: the
+/// hierarchical phase engine's step (v), measuring on the frozen quotient
+/// CSR snapshot instead of a materialised `H`.
+pub fn contracted_redundant_removals(
+    added: &[Edge],
+    contraction: &Contraction,
+    csr: &CsrGraph,
+    config: &BucketConfig,
+    t1: f64,
+) -> Vec<usize> {
+    let analysis = analyze_redundancy_contracted(added, contraction, csr, config, t1);
     if analysis.is_trivial() {
         return Vec::new();
     }
@@ -243,5 +421,79 @@ mod tests {
     fn t1_must_exceed_one() {
         let h = WeightedGraph::new(2);
         let _ = analyze_redundancy(&[], &h, 1.0);
+    }
+
+    /// The identity contraction (every node its own supernode, zero
+    /// offsets) makes the quotient equal to `H` itself, so the contracted
+    /// analysis must reproduce the oracle exactly.
+    fn identity_contraction(h: &WeightedGraph) -> Contraction {
+        let n = h.node_count();
+        Contraction::from_graph(h, (0..n as u32).collect(), vec![0.0; n], n)
+    }
+
+    fn assert_contracted_matches_oracle(added: &[Edge], h: &WeightedGraph, t1: f64) {
+        let c = identity_contraction(h);
+        let csr = CsrGraph::from(c.quotient());
+        let config = BucketConfig::for_graph(&csr);
+        let oracle = analyze_redundancy(added, h, t1);
+        let contracted = analyze_redundancy_contracted(added, &c, &csr, &config, t1);
+        assert_eq!(oracle.involved, contracted.involved);
+        assert_eq!(
+            oracle.conflict_graph.sorted_edges(),
+            contracted.conflict_graph.sorted_edges()
+        );
+        assert_eq!(
+            sequential_redundant_removals(added, h, t1),
+            contracted_redundant_removals(added, &c, &csr, &config, t1)
+        );
+    }
+
+    #[test]
+    fn contracted_analysis_matches_the_oracle_on_fixed_cases() {
+        let (added, h) = parallel_setup();
+        assert_contracted_matches_oracle(&added, &h, 1.5);
+        assert_contracted_matches_oracle(&added, &h, 1.005);
+        let crossed = vec![Edge::new(0, 2, 1.0), Edge::new(3, 1, 1.0)];
+        assert_contracted_matches_oracle(&crossed, &h, 1.5);
+    }
+
+    mod equivalence_prop {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::{Rng, SeedableRng};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            /// Against random `H` graphs and random same-bin added edges,
+            /// the sparse ball-candidate analysis finds exactly the
+            /// conflicts the dense all-pairs oracle finds.
+            #[test]
+            fn contracted_analysis_matches_the_oracle(
+                seed in 0u64..300,
+                n in 4usize..28,
+                p in 0.1f64..0.5,
+            ) {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut h = WeightedGraph::new(n);
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        if rng.gen_bool(p) {
+                            h.add_edge(u, v, rng.gen_range(0.01..0.3));
+                        }
+                    }
+                }
+                // Same-bin shape: added weights within a narrow ratio.
+                let mut added: Vec<Edge> = Vec::new();
+                for _ in 0..rng.gen_range(2..10) {
+                    let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    if u != v {
+                        added.push(Edge::new(u, v, rng.gen_range(0.8..1.0)));
+                    }
+                }
+                if added.len() >= 2 {
+                    assert_contracted_matches_oracle(&added, &h, 1.5);
+                }
+            }
+        }
     }
 }

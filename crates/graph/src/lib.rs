@@ -54,6 +54,7 @@
 pub mod bfs;
 pub mod bucket;
 pub mod components;
+mod contraction;
 mod csr;
 pub mod dijkstra;
 mod edge;
@@ -66,6 +67,7 @@ pub mod properties;
 mod union_find;
 mod view;
 
+pub use contraction::Contraction;
 pub use csr::CsrGraph;
 pub use edge::Edge;
 pub use graph::{GraphError, WeightedGraph};
